@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures at the
+``tiny`` scale (override with ``--bench-scale``) and asserts its headline
+*shape* (who wins / where the crossover falls).  Ratio sweeps that feed
+several figures are memoized inside :mod:`repro.bench.experiments`, so
+e.g. fig5/fig7/fig8 share one sweep.
+"""
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.report import render
+
+
+def pytest_addoption(parser):
+    parser.addoption("--bench-scale", default="tiny",
+                     choices=["tiny", "small", "medium"],
+                     help="data scale for the paper-figure benchmarks")
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request):
+    return request.config.getoption("--bench-scale")
+
+
+@pytest.fixture
+def run_experiment(benchmark, bench_scale, capsys):
+    """Run one named experiment under pytest-benchmark and print it."""
+
+    def run(name):
+        fn = EXPERIMENTS[name]
+        result = benchmark.pedantic(lambda: fn(scale=bench_scale),
+                                    rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(render(result))
+        return result
+
+    return run
+
+
+def series(result, column):
+    """Extract one named column of an ExperimentResult as a list."""
+    idx = result.columns.index(column)
+    return [row[idx] for row in result.rows]

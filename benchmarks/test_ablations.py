@@ -1,0 +1,78 @@
+"""Ablation benchmarks: cost model accuracy, ACID comparison, COMPACT, k."""
+
+from conftest import series
+
+
+def test_ablation_costmodel(run_experiment):
+    result = run_experiment("ablation-costmodel")
+    agreement = series(result, "agrees(±15%)")
+    assert all(a == "yes" for a in agreement)
+
+
+def test_ablation_acid(run_experiment):
+    result = run_experiment("ablation-acid")
+    acid_reads = [r[3] for r in result.rows
+                  if r[0].startswith("Hive ACID")]
+    dual_reads = [r[3] for r in result.rows if r[0] == "DualTable"]
+    # ACID read cost grows with every delta; DualTable stays near flat.
+    assert acid_reads[-1] > acid_reads[0] * 1.5
+    assert dual_reads[-1] < dual_reads[0] * 1.5
+    assert dual_reads[-1] < acid_reads[-1]
+
+
+def test_ablation_compact(run_experiment):
+    result = run_experiment("ablation-compact")
+    reads = [r[2] for r in result.rows]
+    # Reads get slower as the Attached Table grows, and COMPACT
+    # restores (near-)baseline cost.
+    assert reads[3] > reads[0]
+    assert reads[-1] < reads[3]
+    assert abs(reads[-1] - reads[0]) < 0.1 * reads[0]
+
+
+def test_ablation_k(run_experiment):
+    result = run_experiment("ablation-k")
+    update_cross = [float(r[1].rstrip("%")) for r in result.rows]
+    delete_cross = [float(r[2].rstrip("%")) for r in result.rows]
+    assert update_cross == sorted(update_cross, reverse=True)
+    assert delete_cross == sorted(delete_cross, reverse=True)
+
+
+def test_ablation_attached_backend(run_experiment):
+    result = run_experiment("ablation-attached")
+    by_key = {(r[0], r[1]): r[2] for r in result.rows}
+    # Page read-modify-write makes the B-tree backend slower per edit...
+    assert by_key[("btree", "20%")] > by_key[("hbase", "20%")]
+    # ...but both backends stay functional and ratio-monotone.
+    for backend in ("hbase", "btree"):
+        assert by_key[(backend, "1%")] < by_key[(backend, "20%")]
+
+
+def test_ablation_scenarios(run_experiment):
+    result = run_experiment("ablation-scenarios")
+    assert len(result.rows) == 5
+    # DualTable wins every end-to-end scenario (the 1am-7am story).
+    for row in result.rows:
+        scenario, _, _, hive_s, dual_s = row[0], row[1], row[2], row[3], row[4]
+        assert dual_s < hive_s, scenario
+
+
+def test_ablation_partitions(run_experiment):
+    result = run_experiment("ablation-partitions")
+    by_key = {(r[0], r[1]): r[2] for r in result.rows}
+    flat = by_key[("Hive flat ORC", "aligned (1 day)")]
+    part = by_key[("Hive partitioned by day", "aligned (1 day)")]
+    dual_sub = by_key[("DualTable", "sub-partition (day+org)")]
+    part_sub = by_key[("Hive partitioned by day", "sub-partition (day+org)")]
+    # Partitioning rescues Hive for aligned updates...
+    assert part < flat / 2
+    # ...but DualTable still wins the sub-partition case.
+    assert dual_sub < part_sub
+
+
+def test_ablation_failure(run_experiment):
+    result = run_experiment("ablation-failure")
+    counts = [row[1] for row in result.rows
+              if str(row[0]).endswith("count")]
+    # Every count phase returns the same answer despite the failure.
+    assert len(set(counts)) == 1

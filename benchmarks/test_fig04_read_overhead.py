@@ -1,0 +1,12 @@
+"""Figure 4: grid read performance with an empty Attached Table."""
+
+
+def test_fig4(run_experiment):
+    result = run_experiment("fig4")
+    by_key = {(r[0], r[1]): r[2] for r in result.rows}
+    for query in ("query1_join", "query2_count"):
+        hive = by_key[("Hive(HDFS)", query)]
+        dual = by_key[("DualTable", query)]
+        # DualTable pays a small overhead, bounded (paper: 8-12%).
+        assert dual <= hive * 1.3
+        assert dual >= hive * 0.95

@@ -1,0 +1,24 @@
+"""Figure 5: grid UPDATE run time vs modification ratio (1/36..17/36)."""
+
+from conftest import series
+
+
+def test_fig5(run_experiment):
+    result = run_experiment("fig5")
+    hive = series(result, "Hive(HDFS)")
+    edit = series(result, "DualTable EDIT")
+    cost = series(result, "DualTable Cost-Model")
+    plans = series(result, "cost_model_plan")
+    # Hive is flat; EDIT grows with the ratio.
+    assert max(hive) - min(hive) < 0.1 * max(hive)
+    assert edit == sorted(edit)
+    # EDIT wins at the smallest ratio by a large factor (paper: >3x).
+    assert edit[0] < hive[0] / 2
+    # The cost model switches from EDIT to OVERWRITE exactly once.
+    assert plans[0] == "edit" and plans[-1] == "overwrite"
+    switch = plans.index("overwrite")
+    assert all(p == "edit" for p in plans[:switch])
+    # After the switch the cost-model line tracks Hive closely.
+    for c, h, p in zip(cost, hive, plans):
+        if p == "overwrite":
+            assert abs(c - h) < 0.1 * h

@@ -1,0 +1,17 @@
+"""Figure 6: grid DELETE run time vs deletion ratio."""
+
+from conftest import series
+
+
+def test_fig6(run_experiment):
+    result = run_experiment("fig6")
+    hive = series(result, "Hive(HDFS)")
+    edit = series(result, "DualTable EDIT")
+    plans = series(result, "cost_model_plan")
+    # Hive's cost *falls* as the ratio rises (less data rewritten).
+    assert hive[-1] < hive[0]
+    # EDIT grows; it wins by ~3x at 1/36 (paper: 3x).
+    assert edit == sorted(edit)
+    assert edit[0] < hive[0] / 2
+    # Delete crossover happens (paper: around 10/36).
+    assert "overwrite" in plans and plans[0] == "edit"

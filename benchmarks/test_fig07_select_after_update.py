@@ -1,0 +1,17 @@
+"""Figure 7: SELECT after UPDATE — UnionRead overhead (grid)."""
+
+from conftest import series
+
+
+def test_fig7(run_experiment):
+    result = run_experiment("fig7")
+    hive = series(result, "Read in Hive(HDFS)")
+    union = series(result, "UnionRead in DualTable")
+    # Hive's read is unaffected by the update ratio.
+    assert max(hive) - min(hive) < 0.1 * max(hive)
+    # UnionRead grows with the Attached Table and never wins here.
+    assert union == sorted(union)
+    assert all(u >= h for u, h in zip(union, hive))
+    # Small at 1/36, multiple x at 17/36 (paper: 2.7x).
+    assert union[0] < hive[0] * 1.6
+    assert union[-1] > hive[-1] * 2

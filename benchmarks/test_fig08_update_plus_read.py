@@ -1,0 +1,13 @@
+"""Figure 8: total UPDATE + following SELECT (grid)."""
+
+from conftest import series
+
+
+def test_fig8(run_experiment):
+    result = run_experiment("fig8")
+    hive = series(result, "Hive(HDFS)+Read")
+    edit = series(result, "DualTable EDIT+UnionRead")
+    cost = series(result, "DualTable+Read")
+    assert edit[0] < hive[0]          # DualTable wins at low ratio
+    assert edit[-1] > hive[-1]        # pure EDIT loses at high ratio
+    assert all(c <= max(e, h) * 1.05 for c, e, h in zip(cost, edit, hive))

@@ -1,0 +1,14 @@
+"""Figure 9: SELECT after DELETE — UnionRead overhead (grid)."""
+
+from conftest import series
+
+
+def test_fig9(run_experiment):
+    result = run_experiment("fig9")
+    hive = series(result, "Read in Hive(HDFS)")
+    union = series(result, "UnionRead in DualTable")
+    # After Hive's delete the table shrank, so its read gets cheaper.
+    assert hive[-1] <= hive[0]
+    # DualTable keeps the full master plus markers: reads grow.
+    assert union[-1] >= union[0]
+    assert union[-1] > hive[-1]

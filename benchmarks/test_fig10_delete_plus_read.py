@@ -1,0 +1,11 @@
+"""Figure 10: total DELETE + following SELECT (grid)."""
+
+from conftest import series
+
+
+def test_fig10(run_experiment):
+    result = run_experiment("fig10")
+    hive = series(result, "Hive(HDFS)+Read")
+    edit = series(result, "DualTable EDIT+UnionRead")
+    assert edit[0] < hive[0]
+    assert edit[-1] > hive[-1]

@@ -1,0 +1,13 @@
+"""Figure 11: TPC-H read performance on the three systems."""
+
+
+def test_fig11(run_experiment):
+    result = run_experiment("fig11")
+    by_key = {(r[0], r[1]): r[2] for r in result.rows}
+    for query in ("query-a(Q1)", "query-b(Q12)", "query-c(count)"):
+        hive = by_key[("Hive(HDFS)", query)]
+        hbase = by_key[("Hive(HBase)", query)]
+        dual = by_key[("DualTable", query)]
+        # DualTable's overhead is negligible; HBase reads are far slower.
+        assert abs(dual - hive) < 0.15 * hive
+        assert hbase > hive * 1.5

@@ -1,0 +1,14 @@
+"""Figure 12: TPC-H DML-a/b/c on the three systems."""
+
+
+def test_fig12(run_experiment):
+    result = run_experiment("fig12")
+    by_key = {(r[0], r[1]): r[2] for r in result.rows}
+    statements = {r[1] for r in result.rows}
+    for stmt in statements:
+        dual = by_key[("DualTable", stmt)]
+        hive = by_key[("Hive(HDFS)", stmt)]
+        hbase = by_key[("Hive(HBase)", stmt)]
+        # Paper: DualTable is the most efficient for all three.
+        assert dual < hive
+        assert dual < hbase

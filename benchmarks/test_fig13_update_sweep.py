@@ -1,0 +1,17 @@
+"""Figure 13: TPC-H UPDATE run time vs ratio (1%-50%)."""
+
+from conftest import series
+
+
+def test_fig13(run_experiment):
+    result = run_experiment("fig13")
+    hive = series(result, "Hive(HDFS)")
+    edit = series(result, "DualTable EDIT")
+    plans = series(result, "cost_model_plan")
+    ratios = [int(r.rstrip("%")) for r in series(result, "ratio")]
+    assert max(hive) - min(hive) < 0.05 * max(hive)    # Hive flat
+    assert edit == sorted(edit)                         # EDIT grows
+    assert edit[0] < hive[0] / 2                        # big win at 1%
+    # Crossover in the paper's ballpark (~35%): between 20% and 50%.
+    switch_ratio = ratios[plans.index("overwrite")]
+    assert 20 <= switch_ratio <= 50

@@ -1,0 +1,13 @@
+"""Figure 14: TPC-H DELETE run time vs ratio (1%-50%)."""
+
+from conftest import series
+
+
+def test_fig14(run_experiment):
+    result = run_experiment("fig14")
+    hive = series(result, "Hive(HDFS)")
+    plans = series(result, "cost_model_plan")
+    ratios = [int(r.rstrip("%")) for r in series(result, "ratio")]
+    assert hive[-1] < hive[0]                  # Hive cheapens with β
+    delete_switch = ratios[plans.index("overwrite")]
+    assert delete_switch <= 40                 # earlier than update's

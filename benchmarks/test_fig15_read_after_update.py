@@ -1,0 +1,12 @@
+"""Figure 15: full scan after UPDATE — UnionRead overhead (TPC-H)."""
+
+from conftest import series
+
+
+def test_fig15(run_experiment):
+    result = run_experiment("fig15")
+    hive = series(result, "Read in Hive(HDFS)")
+    union = series(result, "UnionRead in DualTable")
+    assert union == sorted(union)              # linear-ish growth
+    assert union[0] < hive[0] * 1.35           # small at 1%
+    assert union[-1] > hive[-1] * 1.5          # pronounced at 50%

@@ -1,0 +1,17 @@
+"""Figure 16: UPDATE + successive read total (TPC-H)."""
+
+from conftest import series
+
+
+def test_fig16(run_experiment):
+    result = run_experiment("fig16")
+    hive = series(result, "Hive(HDFS)+Read")
+    edit = series(result, "DualTable EDIT+UnionRead")
+    plans = series(result, "cost_model_plan")
+    ratios = [int(r.rstrip("%")) for r in series(result, "ratio")]
+    assert edit[0] < hive[0]
+    # Paper: the total-cost crossover sits slightly below the
+    # update-only crossover of fig13 (~35%).
+    crossover = next(r for r, e, h in zip(ratios, edit, hive) if e > h)
+    assert crossover <= 35
+    assert plans[0] == "edit"

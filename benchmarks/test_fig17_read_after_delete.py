@@ -1,0 +1,13 @@
+"""Figure 17: full scan after DELETE — UnionRead overhead (TPC-H)."""
+
+from conftest import series
+
+
+def test_fig17(run_experiment):
+    result = run_experiment("fig17")
+    hive = series(result, "Read in Hive(HDFS)")
+    union = series(result, "UnionRead in DualTable")
+    # Hive reads less data after deletes; DualTable keeps the master.
+    assert hive[-1] < hive[0]
+    assert union[-1] >= union[0]
+    assert union[-1] > hive[-1]

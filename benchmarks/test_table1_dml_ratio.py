@@ -1,0 +1,7 @@
+"""Table I: ratio of DML operations in the five grid scenarios."""
+
+
+def test_table1(run_experiment):
+    result = run_experiment("table1")
+    # The paper's headline: DML is at least 50% in every scenario.
+    assert all(row[-1] >= 50 for row in result.rows)

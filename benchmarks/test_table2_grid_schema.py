@@ -1,0 +1,9 @@
+"""Table II: the State Grid read-experiment data set."""
+
+
+def test_table2(run_experiment):
+    result = run_experiment("table2")
+    assert len(result.rows) == 6
+    # tj_gbsjwzl_mx is the largest table, as in the paper.
+    largest = max(result.rows, key=lambda r: r[1])
+    assert largest[0] == "tj_gbsjwzl_mx"

@@ -1,0 +1,9 @@
+"""Table III: the State Grid DML-experiment data set."""
+
+
+def test_table3(run_experiment):
+    result = run_experiment("table3")
+    assert len(result.rows) == 6
+    assert {r[0] for r in result.rows} == {
+        "tj_tdjl", "tj_td", "tj_sjwzl_r", "tj_dysjwzl_mx",
+        "tj_sjwzl_y", "tj_gk"}

@@ -1,0 +1,10 @@
+"""Table IV: the eight representative grid DML statements."""
+
+
+def test_table4(run_experiment):
+    result = run_experiment("table4")
+    assert len(result.rows) == 8
+    # Paper's headline: DualTable beats Hive on every statement.
+    for row in result.rows:
+        stmt, _, hive_s, dual_s = row[0], row[1], row[2], row[3]
+        assert dual_s < hive_s, stmt

@@ -1,0 +1,75 @@
+"""Explore the Section-IV cost model: plan regions and crossover points.
+
+Prints (a) the paper's worked example, (b) an EDIT/OVERWRITE decision map
+over update ratio × successive reads ``k``, and (c) how the crossover
+moves with the Attached Table's device rates — the "other storage options
+for the Attached Table" question the paper leaves as future work.
+
+Run with::
+
+    python examples/cost_model_explorer.py
+"""
+
+from repro.bench.runners import bench_profile
+from repro.common.units import GB
+from repro.core import CostModel, cost_u_paper
+
+
+def worked_example():
+    print("Section IV worked example")
+    print("-------------------------")
+    cost = cost_u_paper(d_bytes=100.0, alpha=0.01, k=30,
+                        master_write_bps=1.0, attached_write_bps=0.8,
+                        attached_read_bps=0.5)
+    print("  D=100GB, alpha=1%, k=30, rates 1.0/0.8/0.5 GB/s")
+    print("  CostU = Cost_OVERWRITE - Cost_EDIT = %.2f s" % cost)
+    print("  positive => the EDIT plan is chosen (paper: 38.75 s)\n")
+
+
+def decision_map():
+    print("Plan decision map (update ratio x successive reads k)")
+    print("-----------------------------------------------------")
+    profile = bench_profile("explorer")
+    d_bytes, rows = 23 * GB, 180_000_000
+    ratios = [0.01, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75]
+    ks = [1, 2, 5, 10, 30]
+    print("  %8s " % "ratio" + "".join("%10s" % ("k=%d" % k) for k in ks))
+    for ratio in ratios:
+        cells = []
+        for k in ks:
+            choice = CostModel(profile, k=k).choose_update_plan(
+                d_bytes, rows, ratio, update_cell_bytes=40)
+            cells.append("%10s" % choice.plan)
+        print("  %7.0f%% " % (ratio * 100) + "".join(cells))
+    print()
+
+
+def crossover_vs_attached_speed():
+    print("Crossover ratio vs Attached-Table speed (future-work question)")
+    print("---------------------------------------------------------------")
+    d_bytes, rows = 23 * GB, 180_000_000
+    print("  %28s %12s %12s" % ("attached backend", "update x-over",
+                                "delete x-over"))
+    backends = [
+        ("HBase (paper: 0.8/0.5 GB/s)", 0.8 * GB, 0.5 * GB),
+        ("slower store (0.2/0.1 GB/s)", 0.2 * GB, 0.1 * GB),
+        ("faster store (3.0/2.0 GB/s)", 3.0 * GB, 2.0 * GB),
+    ]
+    for label, write_bps, read_bps in backends:
+        profile = bench_profile("explorer")
+        profile.hbase_write_bps = write_bps
+        profile.hbase_read_bps = read_bps
+        model = CostModel(profile, k=1)
+        upd = model.update_crossover_ratio(d_bytes, rows,
+                                           update_cell_bytes=40)
+        dele = model.delete_crossover_ratio(d_bytes, rows)
+        print("  %28s %11.1f%% %11.1f%%" % (label, 100 * upd, 100 * dele))
+    print()
+    print("A faster random-access store pushes the crossover up: more")
+    print("statements stay on the cheap EDIT path.")
+
+
+if __name__ == "__main__":
+    worked_example()
+    decision_map()
+    crossover_vs_attached_speed()

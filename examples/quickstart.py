@@ -1,0 +1,92 @@
+"""Quickstart: create a DualTable, update it, and watch the cost model.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.bench.runners import bench_profile
+from repro import HiveSession
+from repro.common.units import fmt_bytes, fmt_seconds
+
+
+def main():
+    # One session = one simulated cluster (HDFS + HBase + MapReduce).
+    # byte_scale/op_scale make the 10k generated rows stand for a
+    # production-sized table (~200M narrow rows) so the cost model sees
+    # realistic data volumes.
+    profile = bench_profile("quickstart")
+    profile.byte_scale = 100_000
+    profile.op_scale = 20_000
+    session = HiveSession(profile=profile)
+
+    print("1. Create a DualTable and load some meter readings")
+    # Grid tables are wide (50+ columns in production); the extra
+    # payload columns below are what makes INSERT OVERWRITE so painful.
+    session.execute("""
+        CREATE TABLE readings (
+            meter_id int, day date, kwh double, status string,
+            voltage double, current double, phase string, org string,
+            terminal string, fw string, lat double, lon double
+        ) STORED AS DUALTABLE
+        TBLPROPERTIES ('orc.rows_per_file' = '2000',
+                       'orc.stripe_rows' = '500')
+    """)
+    rows = [(i, "2013-07-%02d" % (1 + i % 28), i * 0.25, "ok",
+             220.0 + i % 10, 5.0 + (i % 7) * 0.1, "L%d" % (i % 3),
+             "org%02d" % (i % 20), "term-%06d" % (i % 997),
+             "fw-%d.%d" % (i % 4, i % 9), 30.0 + (i % 89) * 0.01,
+             120.0 + (i % 97) * 0.01)
+            for i in range(10_000)]
+    load = session.load_rows("readings", rows)
+    print("   loaded %d rows in %s (simulated)\n"
+          % (load.affected, fmt_seconds(load.sim_seconds)))
+
+    print("2. Query it like any Hive table")
+    result = session.execute("""
+        SELECT day, count(*) AS n, sum(kwh) AS total
+        FROM readings WHERE day <= '2013-07-03'
+        GROUP BY day ORDER BY day
+    """)
+    for row in result.rows:
+        print("   %s  n=%-4d total=%.2f" % row)
+    print("   (simulated time: %s)\n" % fmt_seconds(result.sim_seconds))
+
+    print("3. A small UPDATE: the cost model picks the EDIT plan")
+    update = session.execute(
+        "UPDATE readings SET status = 'recollected' "
+        "WHERE day = '2013-07-05'")
+    print("   affected=%d plan=%s (estimated ratio %.3f)"
+          % (update.affected, update.detail["plan"],
+             update.detail["ratio"]))
+    print("   EDIT cost estimate      %s" %
+          fmt_seconds(update.detail["edit_seconds"]))
+    print("   OVERWRITE cost estimate %s\n" %
+          fmt_seconds(update.detail["overwrite_seconds"]))
+
+    print("4. A huge UPDATE: the cost model switches to OVERWRITE")
+    update = session.execute(
+        "UPDATE readings SET status = 'audited' WHERE meter_id >= 0")
+    print("   affected=%d plan=%s\n" % (update.affected,
+                                        update.detail["plan"]))
+
+    print("5. DELETE writes tombstone markers into the Attached Table")
+    delete = session.execute(
+        "DELETE FROM readings WHERE day = '2013-07-28'")
+    handler = session.table("readings").handler
+    print("   affected=%d plan=%s attached=%s\n"
+          % (delete.affected, delete.detail["plan"],
+             fmt_bytes(handler.attached.size_bytes)))
+
+    print("6. COMPACT folds the Attached Table back into the Master")
+    compact = session.execute("COMPACT TABLE readings")
+    print("   plan=%s rows_written=%s attached now %s\n"
+          % (compact.plan, compact.detail.get("rows_written"),
+             fmt_bytes(handler.attached.size_bytes)))
+
+    count = session.execute("SELECT count(*) FROM readings").scalar()
+    print("final row count: %d (10000 - one deleted day)" % count)
+
+
+if __name__ == "__main__":
+    main()

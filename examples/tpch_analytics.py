@@ -1,0 +1,85 @@
+"""TPC-H on three storage systems: the Section VI-B evaluation in miniature.
+
+Loads ``lineitem``/``orders`` into Hive(HDFS), Hive(HBase) and DualTable,
+then runs the paper's read queries (Q1, Q12, COUNT) and DML statements
+(DML-a/b/c) on each, printing a side-by-side comparison.
+
+Run with::
+
+    python examples/tpch_analytics.py
+"""
+
+from repro.bench.runners import SCALES, tpch_session
+from repro.common.units import fmt_seconds
+from repro.workloads import tpch
+
+SYSTEMS = [
+    ("Hive(HDFS)", "orc", None),
+    ("Hive(HBase)", "hbase", None),
+    ("DualTable", "dualtable", "cost"),
+]
+
+SCALE = SCALES["tiny"]
+
+
+def section(title):
+    print()
+    print(title)
+    print("-" * len(title))
+
+
+def main():
+    section("Read queries (Figure 11): Q1, Q12, full count")
+    queries = [("Q1 (pricing summary)", tpch.QUERY_A_Q1),
+               ("Q12 (shipping modes)", tpch.QUERY_B_Q12),
+               ("count(*)", tpch.QUERY_C_COUNT)]
+    for label, storage, mode in SYSTEMS:
+        session = tpch_session(storage, SCALE, mode=mode)
+        times = []
+        for _, sql in queries:
+            times.append(session.execute(sql).sim_seconds)
+        print("   %-12s " % label
+              + "  ".join("%s=%s" % (q[0].split()[0], fmt_seconds(t))
+                          for q, t in zip(queries, times)))
+
+    section("Q1 output (same on every system)")
+    session = tpch_session("dualtable", SCALE, mode="cost")
+    result = session.execute(tpch.QUERY_A_Q1)
+    header = "   %-4s %-4s %10s %12s %8s" % ("flag", "stat", "sum_qty",
+                                             "sum_price", "orders")
+    print(header)
+    for row in result.rows:
+        print("   %-4s %-4s %10.0f %12.0f %8d"
+              % (row[0], row[1], row[2], row[3], row[9]))
+
+    section("DML statements (Figure 12): update 5%, delete 2%, join-update")
+    statements = [("DML-a", tpch.dml_a_sql()),
+                  ("DML-b", tpch.dml_b_sql()),
+                  ("DML-c", tpch.dml_c_sql(SCALE.tpch_orders))]
+    for label, storage, mode in SYSTEMS:
+        parts = []
+        for stmt_label, sql in statements:
+            session = tpch_session(storage, SCALE, mode=mode)
+            result = session.execute(sql)
+            parts.append("%s=%s" % (stmt_label,
+                                    fmt_seconds(result.sim_seconds)))
+        print("   %-12s %s" % (label, "  ".join(parts)))
+
+    section("Read-after-update (Figures 15/16): the UnionRead tax")
+    for ratio in (0.01, 0.10, 0.30, 0.50):
+        session = tpch_session("dualtable", SCALE, mode="edit",
+                               tables=("lineitem",))
+        session.execute(tpch.update_ratio_sql(ratio))
+        read = session.execute(tpch.FULL_SCAN_SQL)
+        print("   after %4.0f%% updates: full scan = %s"
+              % (100 * ratio, fmt_seconds(read.sim_seconds)))
+    print()
+    print("COMPACT removes the tax:")
+    session.execute("COMPACT TABLE lineitem")
+    read = session.execute(tpch.FULL_SCAN_SQL)
+    print("   after COMPACT:        full scan = %s"
+          % fmt_seconds(read.sim_seconds))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline."""
+from setuptools import setup
+
+setup()

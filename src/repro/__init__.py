@@ -1,0 +1,23 @@
+"""DualTable reproduction: a hybrid storage model for update optimization
+in Hive (Hu et al., ICDE 2015), rebuilt on simulated HDFS/HBase/MapReduce
+substrates.
+
+Quickstart::
+
+    from repro import HiveSession
+
+    session = HiveSession()
+    session.execute("CREATE TABLE t (id int, v string) STORED AS DUALTABLE")
+    session.load_rows("t", [(i, "v%d" % i) for i in range(1000)])
+    session.execute("UPDATE t SET v = 'changed' WHERE id < 10")
+    result = session.execute("SELECT count(*) FROM t WHERE v = 'changed'")
+    assert result.scalar() == 10
+"""
+
+from repro.cluster import Cluster, ClusterProfile
+from repro.hive import HiveSession, QueryResult
+
+__version__ = "1.0.0"
+
+__all__ = ["Cluster", "ClusterProfile", "HiveSession", "QueryResult",
+           "__version__"]

@@ -1,0 +1,5 @@
+"""Hive-ACID-style base+delta storage baseline (Section V-C comparator)."""
+
+from repro.acid.handler import AcidHandler
+
+__all__ = ["AcidHandler"]

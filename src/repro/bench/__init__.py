@@ -1,0 +1,16 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from repro.bench.experiments import EXPERIMENTS, ExperimentResult
+from repro.bench.report import format_table, render
+from repro.bench.runners import SCALES, BenchScale, grid_session, tpch_session
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "render",
+    "SCALES",
+    "BenchScale",
+    "grid_session",
+    "tpch_session",
+]

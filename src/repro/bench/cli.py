@@ -1,0 +1,96 @@
+"""``dualtable-bench``: regenerate any table/figure from the command line.
+
+Usage::
+
+    dualtable-bench fig5 --scale small
+    dualtable-bench all --scale tiny --csv out/
+    dualtable-bench list
+"""
+
+import argparse
+import csv
+import os
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.report import render
+from repro.bench.runners import SCALES
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="dualtable-bench",
+        description="Regenerate the paper's tables and figures on the "
+                    "simulated cluster.")
+    parser.add_argument("experiment",
+                        help="experiment id (e.g. fig5, table4, all, list)")
+    parser.add_argument("--scale", default="small", choices=sorted(SCALES),
+                        help="data scale (default: small)")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each experiment's rows to "
+                             "DIR/<experiment>.csv (plot-ready)")
+    parser.add_argument("--svg", metavar="DIR", default=None,
+                        help="also render each chartable experiment to "
+                             "DIR/<experiment>.svg")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    else:
+        if args.experiment not in EXPERIMENTS:
+            print("unknown experiment %r; try: %s"
+                  % (args.experiment, ", ".join(EXPERIMENTS)),
+                  file=sys.stderr)
+            return 2
+        names = [args.experiment]
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](scale=args.scale)
+        print(render(result))
+        print("(regenerated in %.1fs wall time at scale=%s)\n"
+              % (time.time() - started, args.scale))
+        if args.csv:
+            write_csv(result, args.csv)
+        if args.svg:
+            write_svg(result, args.svg)
+    return 0
+
+
+def write_svg(result, directory):
+    """Render one experiment as DIR/<experiment>.svg (when chartable)."""
+    from repro.bench.svg import render_figure
+
+    svg = render_figure(result)
+    if svg is None:
+        print("(%s has no chartable form; skipped svg)" % result.experiment)
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "%s.svg" % result.experiment)
+    with open(path, "w") as handle:
+        handle.write(svg)
+    print("wrote %s" % path)
+    return path
+
+
+def write_csv(result, directory):
+    """Write one experiment's rows as DIR/<experiment>.csv."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "%s.csv" % result.experiment)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.columns)
+        writer.writerows(result.rows)
+    print("wrote %s" % path)
+    return path
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

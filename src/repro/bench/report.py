@@ -1,0 +1,31 @@
+"""ASCII rendering of experiment results."""
+
+
+def format_table(columns, rows):
+    """Render rows as an aligned ASCII table."""
+    columns = [str(c) for c in columns]
+    printable = [[_cell(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in printable:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(c.ljust(w) for c, w in zip(columns, widths)), sep]
+    for row in printable:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return "%.2f" % value
+    return str(value)
+
+
+def render(result):
+    """Render one ExperimentResult with title and notes."""
+    out = ["== %s ==" % result.title,
+           format_table(result.columns, result.rows)]
+    if result.notes:
+        out.append("note: %s" % result.notes)
+    return "\n".join(out) + "\n"

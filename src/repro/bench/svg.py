@@ -1,0 +1,198 @@
+"""Dependency-free SVG rendering of experiment results.
+
+``dualtable-bench fig13 --svg out/`` writes ``out/fig13.svg`` so the
+paper's figures can be regenerated *as figures*, not just tables.  Sweep
+experiments (fig5-10, fig13-18) become line charts; categorical ones
+(fig4, fig11, fig12) become grouped bar charts.  Everything is hand-rolled
+SVG — no plotting libraries required.
+"""
+
+WIDTH, HEIGHT = 640, 400
+MARGIN_LEFT, MARGIN_RIGHT = 70, 20
+MARGIN_TOP, MARGIN_BOTTOM = 48, 88
+
+PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+           "#8c564b"]
+
+
+def _esc(text):
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _parse_x(label):
+    """Sweep x labels are '3/36' or '15%'; return a float in [0, 1]."""
+    text = str(label).strip()
+    if text.endswith("%"):
+        return float(text[:-1]) / 100.0
+    if "/" in text:
+        numerator, denominator = text.split("/", 1)
+        return float(numerator) / float(denominator)
+    return float(text)
+
+
+def _nice_ticks(maximum, count=5):
+    if maximum <= 0:
+        return [0.0, 1.0]
+    raw = maximum / count
+    magnitude = 10 ** len(str(int(raw))) / 10 or 1
+    step = max(1.0, round(raw / magnitude) * magnitude)
+    ticks = []
+    value = 0.0
+    while value <= maximum * 1.001:
+        ticks.append(value)
+        value += step
+    return ticks or [0.0, maximum]
+
+
+class _Canvas:
+    def __init__(self, title):
+        self.parts = [
+            '<svg xmlns="http://www.w3.org/2000/svg" width="%d" '
+            'height="%d" viewBox="0 0 %d %d" '
+            'font-family="sans-serif" font-size="12">'
+            % (WIDTH, HEIGHT, WIDTH, HEIGHT),
+            '<rect width="%d" height="%d" fill="white"/>' % (WIDTH, HEIGHT),
+            '<text x="%d" y="24" font-size="15" font-weight="bold">%s'
+            '</text>' % (MARGIN_LEFT, _esc(title)),
+        ]
+        self.plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+        self.plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+
+    def x(self, fraction):
+        return MARGIN_LEFT + fraction * self.plot_w
+
+    def y(self, fraction):
+        return MARGIN_TOP + (1.0 - fraction) * self.plot_h
+
+    def axes(self, y_max, y_label="simulated seconds"):
+        self.parts.append(
+            '<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>'
+            % (self.x(0), self.y(0), self.x(1), self.y(0)))
+        self.parts.append(
+            '<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>'
+            % (self.x(0), self.y(0), self.x(0), self.y(1)))
+        for tick in _nice_ticks(y_max):
+            fy = tick / y_max if y_max else 0
+            if fy > 1.001:
+                continue
+            self.parts.append(
+                '<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>'
+                % (self.x(0), self.y(fy), self.x(1), self.y(fy)))
+            self.parts.append(
+                '<text x="%g" y="%g" text-anchor="end">%g</text>'
+                % (self.x(0) - 6, self.y(fy) + 4, tick))
+        self.parts.append(
+            '<text x="16" y="%g" transform="rotate(-90 16 %g)" '
+            'text-anchor="middle">%s</text>'
+            % (self.y(0.5), self.y(0.5), _esc(y_label)))
+
+    def legend(self, labels):
+        x0 = MARGIN_LEFT
+        y0 = HEIGHT - 18 - 14 * ((len(labels) - 1) // 2)
+        for i, label in enumerate(labels):
+            col, row = i % 2, i // 2
+            lx = x0 + col * (self.plot_w // 2)
+            ly = y0 + row * 14
+            color = PALETTE[i % len(PALETTE)]
+            self.parts.append(
+                '<rect x="%g" y="%g" width="10" height="10" fill="%s"/>'
+                % (lx, ly - 9, color))
+            self.parts.append(
+                '<text x="%g" y="%g">%s</text>'
+                % (lx + 14, ly, _esc(label)))
+
+    def finish(self):
+        self.parts.append("</svg>")
+        return "\n".join(self.parts)
+
+
+def render_line_chart(result, x_label="modification ratio"):
+    """Line chart for sweep experiments (first col x, numeric cols y)."""
+    series_names = [c for c in result.columns[1:]
+                    if any(isinstance(row[result.columns.index(c)],
+                                      (int, float)) for row in result.rows)]
+    xs = [_parse_x(row[0]) for row in result.rows]
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1.0
+    y_max = max(row[result.columns.index(c)]
+                for c in series_names for row in result.rows) * 1.05
+    canvas = _Canvas(result.title)
+    canvas.axes(y_max)
+    for i, name in enumerate(series_names):
+        idx = result.columns.index(name)
+        points = " ".join(
+            "%g,%g" % (canvas.x((x - x_min) / span),
+                       canvas.y(row[idx] / y_max))
+            for x, row in zip(xs, result.rows))
+        color = PALETTE[i % len(PALETTE)]
+        canvas.parts.append(
+            '<polyline points="%s" fill="none" stroke="%s" '
+            'stroke-width="2"/>' % (points, color))
+        for x, row in zip(xs, result.rows):
+            canvas.parts.append(
+                '<circle cx="%g" cy="%g" r="3" fill="%s"/>'
+                % (canvas.x((x - x_min) / span),
+                   canvas.y(row[idx] / y_max), color))
+    for x, row in zip(xs, result.rows):
+        canvas.parts.append(
+            '<text x="%g" y="%g" text-anchor="middle" font-size="10">%s'
+            '</text>' % (canvas.x((x - x_min) / span),
+                         canvas.y(0) + 14, _esc(row[0])))
+    canvas.parts.append(
+        '<text x="%g" y="%g" text-anchor="middle">%s</text>'
+        % (canvas.x(0.5), canvas.y(0) + 30, _esc(x_label)))
+    canvas.legend(series_names)
+    return canvas.finish()
+
+
+def render_bar_chart(result):
+    """Grouped bars for (group, category, value, ...) rows."""
+    groups = []
+    categories = []
+    values = {}
+    for row in result.rows:
+        group, category, value = row[0], row[1], row[2]
+        if group not in groups:
+            groups.append(group)
+        if category not in categories:
+            categories.append(category)
+        values[(group, category)] = value
+    y_max = max(v for v in values.values()) * 1.05
+    canvas = _Canvas(result.title)
+    canvas.axes(y_max)
+    n_groups, n_cats = len(groups), len(categories)
+    group_width = 1.0 / n_groups
+    bar_width = group_width * 0.8 / max(1, n_cats)
+    for gi, group in enumerate(groups):
+        for ci, category in enumerate(categories):
+            value = values.get((group, category))
+            if value is None:
+                continue
+            fx = gi * group_width + 0.1 * group_width + ci * bar_width
+            height_fraction = value / y_max if y_max else 0
+            color = PALETTE[ci % len(PALETTE)]
+            canvas.parts.append(
+                '<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>'
+                % (canvas.x(fx), canvas.y(height_fraction),
+                   bar_width * canvas.plot_w,
+                   height_fraction * canvas.plot_h, color))
+        canvas.parts.append(
+            '<text x="%g" y="%g" text-anchor="middle" font-size="10">%s'
+            '</text>' % (canvas.x(gi * group_width + group_width / 2),
+                         canvas.y(0) + 14, _esc(group)))
+    canvas.legend(categories)
+    return canvas.finish()
+
+
+def render_figure(result):
+    """Pick a chart type for an experiment, or None if not chartable."""
+    if not result.rows:
+        return None
+    first = result.rows[0]
+    if result.columns and result.columns[0] == "ratio":
+        return render_line_chart(result)
+    if (len(first) >= 3 and isinstance(first[2], (int, float))
+            and isinstance(first[0], str) and isinstance(first[1], str)):
+        return render_bar_chart(result)
+    return None

@@ -1,0 +1,15 @@
+"""Simulated cluster substrate: clock, profiles, ledger, charge API."""
+
+from repro.cluster.clock import SimClock
+from repro.cluster.cluster import Cluster
+from repro.cluster.ledger import Charge, CostScope, MetricsLedger
+from repro.cluster.profile import ClusterProfile
+
+__all__ = [
+    "SimClock",
+    "Cluster",
+    "Charge",
+    "CostScope",
+    "MetricsLedger",
+    "ClusterProfile",
+]

@@ -1,0 +1,27 @@
+"""A simple monotonically advancing simulated clock.
+
+The clock is *event-driven*: code advances it explicitly when a simulated
+operation completes.  Nothing in this repository sleeps on wall time; all
+"run time" figures reported by the bench harness are simulated seconds.
+"""
+
+
+class SimClock:
+    """Simulated wall clock measured in seconds since cluster start."""
+
+    def __init__(self, start=0.0):
+        self._now = float(start)
+
+    @property
+    def now(self):
+        return self._now
+
+    def advance(self, seconds):
+        """Move time forward.  Negative advances are a programming error."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards: %r" % seconds)
+        self._now += seconds
+        return self._now
+
+    def reset(self, start=0.0):
+        self._now = float(start)

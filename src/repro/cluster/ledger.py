@@ -1,0 +1,119 @@
+"""Metrics ledger: the single place all simulated I/O cost is recorded.
+
+Every byte that moves through a simulated device (HDFS sequential streams,
+HBase random reads/writes, the MapReduce shuffle) is *charged* here.  The
+ledger keeps:
+
+* raw counters — true bytes and operation counts per (subsystem, op), and
+* accumulated simulated seconds per (subsystem, op).
+
+Cost scopes (see :class:`CostScope`) let the MapReduce engine attribute
+charges to individual tasks so a job's makespan can be computed from
+per-task durations.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass
+class Charge:
+    """One recorded device charge."""
+
+    subsystem: str
+    op: str
+    nbytes: int
+    nops: int
+    seconds: float
+
+
+@dataclass
+class CostScope:
+    """Accumulates the simulated seconds charged while the scope is active.
+
+    HBase seconds are tracked separately: the region servers are a shared,
+    serialized resource, so the MapReduce engine adds them to a job's run
+    time as a serial component instead of folding them into individual
+    task durations (see :mod:`repro.mapreduce.runner`).
+    """
+
+    label: str = ""
+    seconds: float = 0.0
+    hbase_seconds: float = 0.0
+    nbytes: int = 0
+    nops: int = 0
+
+    def add(self, charge):
+        self.seconds += charge.seconds
+        if charge.subsystem == "hbase":
+            self.hbase_seconds += charge.seconds
+        self.nbytes += charge.nbytes
+        self.nops += charge.nops
+
+    @property
+    def parallel_seconds(self):
+        """Seconds spent on per-task parallelizable work (non-HBase)."""
+        return self.seconds - self.hbase_seconds
+
+
+class MetricsLedger:
+    """Global cost accounting for one simulated cluster."""
+
+    def __init__(self):
+        self.bytes_by_key = defaultdict(int)
+        self.ops_by_key = defaultdict(int)
+        self.seconds_by_key = defaultdict(float)
+        self.total_seconds = 0.0
+        self._scopes = []
+
+    def record(self, charge):
+        """Record a charge globally and into every active scope."""
+        key = (charge.subsystem, charge.op)
+        self.bytes_by_key[key] += charge.nbytes
+        self.ops_by_key[key] += charge.nops
+        self.seconds_by_key[key] += charge.seconds
+        self.total_seconds += charge.seconds
+        for scope in self._scopes:
+            scope.add(charge)
+
+    def push_scope(self, label=""):
+        scope = CostScope(label=label)
+        self._scopes.append(scope)
+        return scope
+
+    def pop_scope(self, scope):
+        if not self._scopes or self._scopes[-1] is not scope:
+            raise ValueError("cost scopes must be popped LIFO")
+        self._scopes.pop()
+        return scope
+
+    def bytes_for(self, subsystem, op=None):
+        if op is not None:
+            return self.bytes_by_key[(subsystem, op)]
+        return sum(v for (s, _), v in self.bytes_by_key.items() if s == subsystem)
+
+    def ops_for(self, subsystem, op=None):
+        if op is not None:
+            return self.ops_by_key[(subsystem, op)]
+        return sum(v for (s, _), v in self.ops_by_key.items() if s == subsystem)
+
+    def seconds_for(self, subsystem, op=None):
+        if op is not None:
+            return self.seconds_by_key[(subsystem, op)]
+        return sum(v for (s, _), v in self.seconds_by_key.items() if s == subsystem)
+
+    def snapshot(self):
+        """An immutable dict snapshot, handy for before/after deltas."""
+        return {
+            "bytes": dict(self.bytes_by_key),
+            "ops": dict(self.ops_by_key),
+            "seconds": dict(self.seconds_by_key),
+            "total_seconds": self.total_seconds,
+        }
+
+    def reset(self):
+        self.bytes_by_key.clear()
+        self.ops_by_key.clear()
+        self.seconds_by_key.clear()
+        self.total_seconds = 0.0
+        self._scopes.clear()

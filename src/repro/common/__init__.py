@@ -1,0 +1,27 @@
+"""Shared helpers: units, errors, deterministic RNG utilities."""
+
+from repro.common.errors import (
+    ReproError,
+    HdfsError,
+    HBaseError,
+    OrcError,
+    MapReduceError,
+    HiveError,
+    DualTableError,
+)
+from repro.common.units import KB, MB, GB, fmt_bytes, fmt_seconds
+
+__all__ = [
+    "ReproError",
+    "HdfsError",
+    "HBaseError",
+    "OrcError",
+    "MapReduceError",
+    "HiveError",
+    "DualTableError",
+    "KB",
+    "MB",
+    "GB",
+    "fmt_bytes",
+    "fmt_seconds",
+]

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the DualTable reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch either the broad family or a specific layer's failures.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class HdfsError(ReproError):
+    """Raised by the simulated HDFS layer."""
+
+
+class FileNotFoundHdfsError(HdfsError):
+    """A path does not exist in the HDFS namespace."""
+
+
+class FileAlreadyExistsError(HdfsError):
+    """Attempted to create a file over an existing path."""
+
+
+class ImmutableFileError(HdfsError):
+    """Attempted to modify a closed (write-once) HDFS file."""
+
+
+class ReplicationError(HdfsError):
+    """Not enough live datanodes to satisfy the replication factor."""
+
+
+class OrcError(ReproError):
+    """Raised by the ORC reader/writer."""
+
+
+class CorruptOrcFileError(OrcError):
+    """File bytes do not parse as a valid ORC-like file."""
+
+
+class HBaseError(ReproError):
+    """Raised by the simulated HBase layer."""
+
+
+class TableNotFoundError(HBaseError):
+    """HBase table does not exist."""
+
+
+class TableExistsError(HBaseError):
+    """HBase table already exists."""
+
+
+class MapReduceError(ReproError):
+    """Raised by the MapReduce job engine."""
+
+
+class TaskFailedError(MapReduceError):
+    """A map or reduce task raised an exception."""
+
+
+class HiveError(ReproError):
+    """Raised by the Hive-like SQL layer."""
+
+
+class ParseError(HiveError):
+    """HiveQL text could not be parsed."""
+
+    def __init__(self, message, position=None):
+        super().__init__(message)
+        self.position = position
+
+
+class AnalysisError(HiveError):
+    """Query refers to unknown tables/columns or is semantically invalid."""
+
+
+class CatalogError(HiveError):
+    """Metastore-level failure (duplicate table, missing table, ...)."""
+
+
+class DualTableError(ReproError):
+    """Raised by the DualTable storage handler."""
+
+
+class CompactionInProgressError(DualTableError):
+    """Operations are blocked while COMPACT is running."""

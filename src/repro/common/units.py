@@ -1,0 +1,31 @@
+"""Byte/time unit constants and human-readable formatting."""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def fmt_bytes(n):
+    """Format a byte count for humans: ``fmt_bytes(1536) == '1.50 KB'``."""
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return "%d B" % int(n)
+            return "%.2f %s" % (n, unit)
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_seconds(s):
+    """Format a duration in seconds: ``fmt_seconds(93.5) == '1m 33.5s'``."""
+    s = float(s)
+    if s < 0:
+        return "-" + fmt_seconds(-s)
+    if s < 60:
+        return "%.2fs" % s
+    minutes, rest = divmod(s, 60.0)
+    if minutes < 60:
+        return "%dm %.1fs" % (int(minutes), rest)
+    hours, minutes = divmod(int(minutes), 60)
+    return "%dh %dm %.0fs" % (hours, minutes, rest)

@@ -1,0 +1,174 @@
+"""The Attached Table: HBase-backed store of row modifications.
+
+Data layout (Section V-B):
+
+* HBase row key   = the DualTable record ID (sorted == master order),
+* UPDATE info     = one cell per updated field; the qualifier encodes the
+  Hive column number, the cell value the new field value,
+* DELETE info     = a special marker cell (``D``) in the record's row.
+
+HBase multi-versioning tracks the change history of each field for free —
+the paper calls this out as an advantage over Hive ACID deltas.
+"""
+
+import struct
+
+from dataclasses import dataclass, field
+
+from repro.core.record_id import file_key_range
+from repro.hive.valuecodec import decode_value, encode_value
+
+DELETE_MARKER = b"D"
+_UPDATE_PREFIX = b"u"
+
+
+def update_qualifier(column_index):
+    return _UPDATE_PREFIX + struct.pack(">H", column_index)
+
+
+def parse_qualifier(qualifier):
+    """Return ('delete', None) or ('update', column_index)."""
+    if qualifier == DELETE_MARKER:
+        return "delete", None
+    if qualifier[:1] == _UPDATE_PREFIX and len(qualifier) == 3:
+        return "update", struct.unpack(">H", qualifier[1:])[0]
+    return "unknown", None
+
+
+@dataclass
+class DeltaRecord:
+    """Resolved modification state of one record ID."""
+
+    deleted: bool = False
+    updates: dict = field(default_factory=dict)   # column_index -> value
+
+
+class AttachedTable:
+    """Client API over the per-DualTable attached store.
+
+    The default backend is HBase (the paper's implementation); passing
+    ``backend="btree"`` stores modifications in the simulated MySQL-style
+    B-tree row store instead — the "other storage options for the
+    Attached Table" the paper leaves as future work.  Both backends share
+    the HTable client surface, so everything above this class is
+    backend-agnostic.
+    """
+
+    def __init__(self, hbase_service, name, backend="hbase"):
+        if backend not in ("hbase", "btree"):
+            raise ValueError("unknown attached backend %r" % backend)
+        self._service = hbase_service
+        self.name = name
+        self.backend = backend
+        self._btree = None
+
+    def create(self):
+        if self.backend == "hbase":
+            self._service.ensure_table(self.name)
+        elif self._btree is None:
+            from repro.kvstore import BTreeTable
+            self._btree = BTreeTable(self._service.cluster, self.name)
+
+    def drop(self):
+        if self.backend == "hbase":
+            if self._service.has_table(self.name):
+                self._service.drop_table(self.name)
+        else:
+            self._btree = None
+
+    def _htable(self):
+        if self.backend == "hbase":
+            return self._service.table(self.name)
+        if self._btree is None:
+            raise RuntimeError("attached btree store not created")
+        return self._btree
+
+    def rates(self, profile):
+        """Device rates of this backend, for the cost evaluator."""
+        from repro.core.cost_model import AttachedRates
+
+        if self.backend == "hbase":
+            return AttachedRates.from_hbase_profile(profile)
+        store = self._htable()
+        return AttachedRates(write_bps=store.write_bps,
+                             read_bps=store.read_bps,
+                             op_latency_s=store.op_latency_s,
+                             scan_row_latency_s=store.op_latency_s / 16,
+                             page_bytes=store.page_bytes,
+                             page_locality=store.page_locality)
+
+    # ------------------------------------------------------------------
+    # Writes (the EDIT plan's UDTF calls).
+    # ------------------------------------------------------------------
+    def put_update(self, record_id, new_values):
+        """Store new field values: ``{column_index: python_value}``."""
+        payload = {update_qualifier(idx): encode_value(val)
+                   for idx, val in new_values.items()}
+        self._htable().put(record_id, payload)
+
+    def put_delete(self, record_id):
+        """Store a DELETE marker for one record."""
+        self._htable().put(record_id, {DELETE_MARKER: b"1"})
+
+    # ------------------------------------------------------------------
+    # Reads (the UNION READ merge input).
+    # ------------------------------------------------------------------
+    def scan_file(self, file_id):
+        """Yield ``(record_id, DeltaRecord)`` for one master file, sorted."""
+        start, stop = file_key_range(file_id)
+        return self.scan_range(start, stop)
+
+    def scan_range(self, start=None, stop=None):
+        for record_id, cells in self._htable().scan(start, stop):
+            yield record_id, self._resolve(cells)
+
+    def get(self, record_id):
+        cells = self._htable().get(record_id)
+        if cells is None:
+            return None
+        return self._resolve(cells)
+
+    @staticmethod
+    def _resolve(cells):
+        delta = DeltaRecord()
+        for qualifier, value in cells.items():
+            kind, column_index = parse_qualifier(qualifier)
+            if kind == "delete":
+                delta.deleted = True
+            elif kind == "update":
+                delta.updates[column_index] = decode_value(value)
+        return delta
+
+    def history(self, record_id, versions=10):
+        """Multi-version change history of one record's fields."""
+        cells = self._htable().get(record_id, versions=versions)
+        if cells is None:
+            return {}
+        out = {}
+        for qualifier, entries in cells.items():
+            kind, column_index = parse_qualifier(qualifier)
+            if kind != "update":
+                continue
+            out[column_index] = [(ts, decode_value(v)) for ts, v in entries]
+        return out
+
+    # ------------------------------------------------------------------
+    # Stats / maintenance.
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self):
+        return self._htable().store_bytes
+
+    def is_empty(self):
+        return self._htable().is_empty()
+
+    def has_entries_in_file(self, file_id):
+        """Metadata-level check used to decide if stripe pruning is safe."""
+        start, stop = file_key_range(file_id)
+        return self._htable().bytes_in_range(start, stop) > 0
+
+    def entry_count(self):
+        return self._htable().count_rows()
+
+    def clear(self):
+        self._htable().truncate()

@@ -1,0 +1,401 @@
+"""DualTableHandler: the hybrid storage model, wired into Hive.
+
+One DualTable = one Master Table (ORC on HDFS) + one Attached Table
+(HBase) + the cost-model based UPDATE/DELETE execution and COMPACT
+(Sections III and V of the paper).
+
+Reads are UNION READs: each master file is one input split; its mapper
+merges the sorted ORC row stream with the sorted Attached-Table delta
+stream for that file's record-ID range.  Stripe pruning is applied only
+when the Attached Table holds no entries for the file (otherwise an
+updated field could move a row into the predicate's range and pruning
+would be unsound).
+"""
+
+from repro.common.errors import CompactionInProgressError, DualTableError
+from repro.mapreduce import InputSplit, Job
+from repro.hive.catalog import register_handler
+from repro.hive.expressions import Env, compile_expr, is_true, referenced_columns
+from repro.hive.pushdown import (estimate_selection, extract_ranges,
+                                 make_stripe_filter)
+from repro.hive.session import QueryResult
+from repro.hive.storage.base import StorageHandler
+from repro.core.attached import AttachedTable
+from repro.core.cost_model import CostModel
+from repro.core.master import MasterTable
+from repro.core.metadata import DualTableMetadata
+from repro.core.record_id import RECORD_ID_BYTES
+from repro.core.udtf import delete_udtf, update_udtf
+from repro.core.union_read import union_read_file
+
+#: per-assignment Attached-Table payload estimate: 3-byte qualifier +
+#: ~10-byte encoded value + cell overhead.
+_UPDATE_CELL_BYTES = 18
+
+
+class DualTableHandler(StorageHandler):
+    """The paper's hybrid storage model as a Hive storage handler."""
+
+    kind = "dualtable"
+    supports_inplace_mutation = False   # mutation goes through plans
+
+    def __init__(self, table, env):
+        super().__init__(table, env)
+        props = table.properties
+        self.metadata = DualTableMetadata(env.hbase)
+        self.master = MasterTable(
+            fs=env.fs,
+            location="/warehouse/%s/master" % table.name,
+            schema=table.schema,
+            metadata_manager=self.metadata,
+            table_name=table.name,
+            rows_per_file=int(props.get("orc.rows_per_file", 50_000)),
+            stripe_rows=int(props.get("orc.stripe_rows", 5_000)),
+        )
+        self.attached = AttachedTable(
+            env.hbase, "dt_%s_attached" % table.name,
+            backend=str(props.get("dualtable.attached", "hbase")).lower())
+        self.mode = str(props.get("dualtable.mode", "cost")).lower()
+        if self.mode not in ("cost", "edit", "overwrite"):
+            raise DualTableError("bad dualtable.mode: %r" % self.mode)
+        self.read_factor = int(props.get("dualtable.read_factor", 1))
+        self._compacting = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def create(self):
+        self.master.create()
+        self.attached.create()
+        self.metadata.register_table(self.table.name)
+
+    def drop(self):
+        self.master.drop()
+        self.attached.drop()
+        self.metadata.unregister_table(self.table.name)
+
+    def _check_not_compacting(self):
+        if self._compacting:
+            raise CompactionInProgressError(
+                "COMPACT in progress on %s" % self.table.name)
+
+    # ------------------------------------------------------------------
+    # Writes.
+    # ------------------------------------------------------------------
+    def insert_rows(self, rows, overwrite=False):
+        self._check_not_compacting()
+        rows = list(rows)
+        if overwrite:
+            self.master.replace_with(rows)
+            self.attached.clear()
+        else:
+            self.master.write_rows(rows)
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # Reads (UNION READ).
+    # ------------------------------------------------------------------
+    def scan_splits(self, projection=None, ranges=None):
+        self._check_not_compacting()
+        splits = []
+        for path in self.master.file_paths():
+            reader = self.master.reader(path)
+            file_id = int(reader.metadata["dualtable.file_id"])
+            prune_safe = not self.attached.has_entries_in_file(file_id)
+            splits.append(InputSplit(
+                payload={"path": path, "file_id": file_id,
+                         "projection": list(projection) if projection else None,
+                         "ranges": (ranges or {}) if prune_safe else {},
+                         "prune_safe": prune_safe},
+                size_bytes=reader.projected_bytes(
+                    list(projection) if projection else None),
+                label=path))
+        return splits
+
+    def read_split(self, split, ctx):
+        for _, values in self.read_split_with_rids(split, ctx):
+            yield values
+
+    def read_split_with_rids(self, split, ctx):
+        """UNION READ of one master file: yields (record_id, values)."""
+        payload = split.payload
+        reader = self.master.reader(payload["path"])
+        projection = payload["projection"]
+        stripe_filter = make_stripe_filter(
+            [n for n, _ in reader.schema], payload["ranges"] or {})
+        orc_rows = reader.rows(projection=projection,
+                               stripe_filter=stripe_filter)
+        projection_map = self._projection_map(projection)
+        deltas = self.attached.scan_file(payload["file_id"])
+        nrows = 0
+        for item in union_read_file(payload["file_id"], orc_rows, deltas,
+                                    projection_map):
+            nrows += 1
+            yield item
+        # Per-row merge-path invocation overhead (Figure 4).
+        profile = self.env.cluster.profile
+        self.env.cluster.charge_fixed(
+            "cpu", "unionread",
+            nrows * profile.op_scale * profile.unionread_row_cost_s)
+
+    def _projection_map(self, projection):
+        schema = self.schema
+        if projection is None:
+            return {i: i for i in range(len(schema))}
+        return {schema.index_of(name): pos
+                for pos, name in enumerate(projection)}
+
+    # ------------------------------------------------------------------
+    # Statistics.
+    # ------------------------------------------------------------------
+    def data_bytes(self):
+        return self.master.data_bytes() + self.attached.size_bytes
+
+    def row_count(self):
+        return self.master.row_count()
+
+    # ------------------------------------------------------------------
+    # UPDATE / DELETE (cost-model dispatch).
+    # ------------------------------------------------------------------
+    def cost_model(self):
+        profile = self.env.cluster.profile
+        return CostModel(profile, k=self.read_factor,
+                         attached_rates=self.attached.rates(profile))
+
+    #: rows to sample when the predicate has no extractable column ranges
+    SAMPLE_ROWS = 2000
+
+    def _estimate_ratio(self, where):
+        """Estimate the modification ratio.
+
+        Prefers stripe-statistics estimation (zero data reads); falls back
+        to evaluating the predicate over a small row sample — the paper's
+        "historical analysis ... or directly given by the designer"
+        alternative, made automatic.
+        """
+        if where is None:
+            return 1.0, self.master.row_count()
+        ranges = extract_ranges(where)
+        readers = self.master.readers()
+        if not readers:
+            return 0.0, 0
+        schema_cols = {c.name.lower() for c in self.schema}
+        usable = {n: r for n, r in ranges.items() if n in schema_cols}
+        if usable:
+            selected, total = estimate_selection(readers, usable)
+            if total == 0:
+                return 0.0, 0
+            return min(1.0, selected / total), total
+        return self._sample_ratio(where, readers)
+
+    def _sample_ratio(self, where, readers):
+        projection = [c.name for c in self.schema
+                      if c.name.lower() in referenced_columns(where)]
+        if not projection:
+            projection = [self.schema.columns[0].name]
+        env = Env()
+        env.add_schema(projection)
+        predicate = compile_expr(where, env)
+        total = sum(r.num_rows for r in readers)
+        sampled = 0
+        matched = 0
+        per_reader = max(1, self.SAMPLE_ROWS // max(1, len(readers)))
+        for reader in readers:
+            taken = 0
+            for _, values in reader.rows(projection=projection):
+                if is_true(predicate(values)):
+                    matched += 1
+                taken += 1
+                if taken >= per_reader:
+                    break
+            sampled += taken
+        if sampled == 0:
+            return 0.0, total
+        return matched / sampled, total
+
+    def _edit_scan_bytes(self, where, extra_columns=()):
+        """Master bytes the EDIT scan reads (projection + pruning)."""
+        needed = set(extra_columns)
+        if where is not None:
+            needed |= referenced_columns(where)
+        projection = [c.name for c in self.schema
+                      if c.name.lower() in needed] or None
+        ranges = extract_ranges(where) if where is not None else {}
+        total = 0
+        for reader in self.master.readers():
+            stripe_filter = make_stripe_filter(
+                [n for n, _ in reader.schema], ranges)
+            total += reader.projected_bytes(projection, stripe_filter)
+        return total
+
+    def execute_update(self, session, stmt):
+        self._check_not_compacting()
+        ratio, total_rows = self._estimate_ratio(stmt.where)
+        d_bytes = self.master.data_bytes()
+        update_cell_bytes = (RECORD_ID_BYTES
+                             + _UPDATE_CELL_BYTES * len(stmt.assignments))
+        assignment_columns = set()
+        for _, expr in stmt.assignments:
+            assignment_columns |= referenced_columns(expr)
+        scan_bytes = self._edit_scan_bytes(stmt.where, assignment_columns)
+        choice = self.cost_model().choose_update_plan(
+            d_bytes, total_rows, ratio, update_cell_bytes,
+            edit_scan_bytes=scan_bytes)
+        plan = self._forced_or(choice.plan)
+        detail = self._detail(choice, plan)
+        self.metadata.record_ratio(self.table.name, ratio)
+        if plan == "overwrite":
+            info = session.metastore.table(self.table.name)
+            return session.update_via_overwrite(info, stmt,
+                                                extra_detail=detail)
+        return self._edit_update(session, stmt, detail)
+
+    def execute_delete(self, session, stmt):
+        self._check_not_compacting()
+        ratio, total_rows = self._estimate_ratio(stmt.where)
+        d_bytes = self.master.data_bytes()
+        scan_bytes = self._edit_scan_bytes(stmt.where)
+        choice = self.cost_model().choose_delete_plan(
+            d_bytes, total_rows, ratio, edit_scan_bytes=scan_bytes)
+        plan = self._forced_or(choice.plan)
+        detail = self._detail(choice, plan)
+        self.metadata.record_ratio(self.table.name, ratio)
+        if plan == "overwrite":
+            info = session.metastore.table(self.table.name)
+            return session.delete_via_overwrite(info, stmt,
+                                                extra_detail=detail)
+        return self._edit_delete(session, stmt, detail)
+
+    def _forced_or(self, cost_plan):
+        if self.mode == "cost":
+            return cost_plan
+        return self.mode
+
+    @staticmethod
+    def _detail(choice, plan):
+        return {
+            "plan": plan,
+            "cost_plan": choice.plan,
+            "cost_difference": choice.cost_difference,
+            "edit_seconds": choice.edit_seconds,
+            "overwrite_seconds": choice.overwrite_seconds,
+            "ratio": choice.ratio,
+        }
+
+    # -- EDIT plans ------------------------------------------------------
+    def _edit_update(self, session, stmt, detail):
+        schema = self.schema
+        needed = set()
+        if stmt.where is not None:
+            needed |= referenced_columns(stmt.where)
+        for _, expr in stmt.assignments:
+            needed |= referenced_columns(expr)
+        projection = [c.name for c in schema if c.name.lower() in needed]
+        if not projection:
+            projection = [schema.columns[0].name]
+        env = Env()
+        env.add_schema(projection, alias=stmt.alias)
+        predicate = (compile_expr(stmt.where, env)
+                     if stmt.where is not None else None)
+        assigns = [(schema.index_of(name), compile_expr(expr, env))
+                   for name, expr in stmt.assignments]
+        ranges = extract_ranges(stmt.where) if stmt.where is not None else {}
+        splits = self.scan_splits(projection, ranges)
+        attached = self.attached
+
+        def map_fn(split, ctx):
+            for record_id, values in self.read_split_with_rids(split, ctx):
+                if predicate is None or is_true(predicate(values)):
+                    new_values = {idx: fn(values) for idx, fn in assigns}
+                    update_udtf(attached, record_id, new_values, ctx)
+            return ()
+
+        job = Job(name="update-edit", splits=splits, map_fn=map_fn,
+                  reduce_fn=None)
+        result = session.runner.run(job)
+        jobs = session._dml_subquery_jobs + [result]
+        sub = sum(j.sim_seconds for j in session._dml_subquery_jobs)
+        return QueryResult(sim_seconds=sub + result.sim_seconds, jobs=jobs,
+                           affected=result.counters.get("updated", 0),
+                           plan="update-edit", detail=detail)
+
+    def _edit_delete(self, session, stmt, detail):
+        schema = self.schema
+        needed = (referenced_columns(stmt.where)
+                  if stmt.where is not None else set())
+        projection = [c.name for c in schema if c.name.lower() in needed]
+        if not projection:
+            projection = [schema.columns[0].name]
+        env = Env()
+        env.add_schema(projection, alias=stmt.alias)
+        predicate = (compile_expr(stmt.where, env)
+                     if stmt.where is not None else None)
+        ranges = extract_ranges(stmt.where) if stmt.where is not None else {}
+        splits = self.scan_splits(projection, ranges)
+        attached = self.attached
+
+        def map_fn(split, ctx):
+            for record_id, values in self.read_split_with_rids(split, ctx):
+                if predicate is None or is_true(predicate(values)):
+                    delete_udtf(attached, record_id, ctx)
+            return ()
+
+        job = Job(name="delete-edit", splits=splits, map_fn=map_fn,
+                  reduce_fn=None)
+        result = session.runner.run(job)
+        jobs = session._dml_subquery_jobs + [result]
+        sub = sum(j.sim_seconds for j in session._dml_subquery_jobs)
+        return QueryResult(sim_seconds=sub + result.sim_seconds, jobs=jobs,
+                           affected=result.counters.get("deleted", 0),
+                           plan="delete-edit", detail=detail)
+
+    # ------------------------------------------------------------------
+    # COMPACT (Section III-C): fold the Attached Table into the Master.
+    # ------------------------------------------------------------------
+    def execute_compact(self, session, major=True):
+        self._check_not_compacting()
+        if self.attached.is_empty():
+            return QueryResult(plan="compact-noop",
+                               detail={"attached_bytes": 0})
+        attached_bytes = self.attached.size_bytes
+        self._compacting = True
+        try:
+            splits = self._compact_splits()
+
+            def map_fn(split, ctx):
+                yield from self.read_split(split, ctx)
+
+            job = Job(name="compact", splits=splits, map_fn=map_fn,
+                      reduce_fn=None)
+            result = session.runner.run(job)
+            write_seconds = session._charged_parallel(
+                lambda: self._replace_after_compact(result.outputs))
+        finally:
+            self._compacting = False
+        return QueryResult(
+            sim_seconds=result.sim_seconds + write_seconds,
+            jobs=[result], affected=len(result.outputs),
+            plan="compact",
+            detail={"attached_bytes": attached_bytes,
+                    "rows_written": len(result.outputs)})
+
+    def _compact_splits(self):
+        # scan_splits raises while _compacting; build splits directly.
+        splits = []
+        for path in self.master.file_paths():
+            reader = self.master.reader(path)
+            splits.append(InputSplit(
+                payload={"path": path,
+                         "file_id": int(reader.metadata["dualtable.file_id"]),
+                         "projection": None, "ranges": {},
+                         "prune_safe": False},
+                size_bytes=reader.projected_bytes(None),
+                label=path))
+        return splits
+
+    def _replace_after_compact(self, rows):
+        self.master.replace_with(rows)
+        self.attached.clear()
+
+
+register_handler("dualtable", DualTableHandler)

@@ -1,0 +1,87 @@
+"""The Master Table: ORC files on HDFS carrying DualTable file IDs.
+
+Every file stores its unique file ID (allocated from the system metadata
+table) in the ORC user metadata; record IDs are generated on read by
+concatenating that ID with the ORC row number — zero storage cost, exactly
+as in Section V-B of the paper.
+"""
+
+from repro.orc import OrcReader, OrcWriter
+
+FILE_ID_KEY = "dualtable.file_id"
+
+
+class MasterTable:
+    """Directory of ORC files with per-file IDs."""
+
+    def __init__(self, fs, location, schema, metadata_manager, table_name,
+                 rows_per_file=50_000, stripe_rows=5_000):
+        self.fs = fs
+        self.location = location
+        self.schema = schema          # TableSchema
+        self.metadata = metadata_manager
+        self.table_name = table_name
+        self.rows_per_file = rows_per_file
+        self.stripe_rows = stripe_rows
+
+    def create(self):
+        self.fs.mkdirs(self.location)
+
+    def drop(self):
+        if self.fs.exists(self.location):
+            self.fs.delete(self.location, recursive=True)
+
+    def file_paths(self):
+        if not self.fs.exists(self.location):
+            return []
+        return [p for p in self.fs.list_files(self.location)
+                if p.endswith(".orc")]
+
+    # ------------------------------------------------------------------
+    def write_rows(self, rows, directory=None):
+        """Write rows into new master files; returns created paths."""
+        directory = directory or self.location
+        rows = list(rows)
+        orc_schema = self.schema.orc_schema()
+        paths = []
+        chunks = [rows[i:i + self.rows_per_file]
+                  for i in range(0, len(rows), self.rows_per_file)] or [[]]
+        for chunk in chunks:
+            file_id = self.metadata.next_file_id(self.table_name)
+            writer = OrcWriter(orc_schema, stripe_rows=self.stripe_rows,
+                               metadata={FILE_ID_KEY: file_id})
+            writer.write_rows(chunk)
+            path = "%s/part-%08d.orc" % (directory, file_id)
+            self.fs.write_file(path, writer.finish())
+            paths.append(path)
+        return paths
+
+    def replace_with(self, rows):
+        """Atomically replace the master with freshly written files."""
+        tmp = self.location + ".__tmp__"
+        if self.fs.exists(tmp):
+            self.fs.delete(tmp, recursive=True)
+        self.fs.mkdirs(tmp)
+        self.write_rows(rows, directory=tmp)
+        self.drop()
+        self.fs.rename(tmp, self.location)
+
+    # ------------------------------------------------------------------
+    def reader(self, path):
+        return OrcReader(self.fs, path)
+
+    def readers(self):
+        return [self.reader(p) for p in self.file_paths()]
+
+    def file_id_of(self, path):
+        return int(self.reader(path).metadata[FILE_ID_KEY])
+
+    def data_bytes(self):
+        return sum(self.fs.file_size(p) for p in self.file_paths())
+
+    def row_count(self):
+        return sum(r.num_rows for r in self.readers())
+
+    def avg_row_bytes(self):
+        rows = self.row_count()
+        return (self.data_bytes() / rows) if rows else 0.0

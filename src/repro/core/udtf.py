@@ -1,0 +1,25 @@
+"""UPDATE/DELETE UDTFs — the EDIT plan's write path (Section V-A).
+
+In the paper these are Hive user-defined table functions invoked from the
+rewritten statement; here they are the functions the EDIT-plan map tasks
+call per matching record.  They exist as a separate module to keep the
+architecture seam visible (parser → plan → UDTF → Attached Table).
+"""
+
+
+def update_udtf(attached, record_id, new_values, ctx=None):
+    """Store the new values for one updated record.
+
+    ``new_values`` maps Hive column numbers to the new field values, which
+    become (qualifier, cell) pairs in the Attached Table.
+    """
+    attached.put_update(record_id, new_values)
+    if ctx is not None:
+        ctx.incr("updated")
+
+
+def delete_udtf(attached, record_id, ctx=None):
+    """Store a DELETE marker for one deleted record."""
+    attached.put_delete(record_id)
+    if ctx is not None:
+        ctx.incr("deleted")

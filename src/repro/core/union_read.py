@@ -1,0 +1,59 @@
+"""UNION READ: merge the Master-Table stream with Attached-Table deltas.
+
+Both inputs arrive sorted by record ID (master rows by construction,
+attached rows because HBase keys are record IDs), so the merge is a single
+linear two-pointer pass per master file — the "simple MapReduce algorithm
+using a divide-and-conquer strategy" of Section III-C.
+"""
+
+from repro.core.record_id import encode_record_id
+
+
+def union_read_file(file_id, orc_rows, delta_items, projection_map):
+    """Merge one master file with its attached deltas.
+
+    ``orc_rows``        — iterator of ``(row_number, values_tuple)`` from the
+                          ORC reader (values in projection order);
+    ``delta_items``     — iterator of ``(record_id, DeltaRecord)`` sorted by
+                          record id, covering this file's key range;
+    ``projection_map``  — ``{schema_column_index: projected_position}`` so
+                          update cells can be applied onto projected tuples.
+
+    Yields ``(record_id, merged_values_tuple)`` with deleted rows skipped.
+    """
+    delta_iter = iter(delta_items)
+    current = next(delta_iter, None)
+    for row_number, values in orc_rows:
+        record_id = encode_record_id(file_id, row_number)
+        while current is not None and current[0] < record_id:
+            current = next(delta_iter, None)
+        if current is not None and current[0] == record_id:
+            delta = current[1]
+            current = next(delta_iter, None)
+            if delta.deleted:
+                continue
+            if delta.updates:
+                merged = list(values)
+                for column_index, new_value in delta.updates.items():
+                    position = projection_map.get(column_index)
+                    if position is not None:
+                        merged[position] = new_value
+                yield record_id, tuple(merged)
+                continue
+        yield record_id, values
+
+
+def apply_delta_to_row(values, delta, projection_map):
+    """Apply one DeltaRecord to a projected row (None when deleted)."""
+    if delta is None:
+        return values
+    if delta.deleted:
+        return None
+    if not delta.updates:
+        return values
+    merged = list(values)
+    for column_index, new_value in delta.updates.items():
+        position = projection_map.get(column_index)
+        if position is not None:
+            merged[position] = new_value
+    return tuple(merged)

@@ -1,0 +1,18 @@
+"""Simulated HBase: LSM regions, multi-version cells, random reads/writes."""
+
+from repro.hbase.cells import CellType, KeyValue, row_tombstone
+from repro.hbase.hfile import HFile
+from repro.hbase.memstore import MemStore
+from repro.hbase.region import Region
+from repro.hbase.table import HBaseService, HTable
+
+__all__ = [
+    "CellType",
+    "KeyValue",
+    "row_tombstone",
+    "HFile",
+    "MemStore",
+    "Region",
+    "HBaseService",
+    "HTable",
+]

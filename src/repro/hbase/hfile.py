@@ -1,0 +1,54 @@
+"""Immutable sorted store files (the LSM tree's on-disk runs).
+
+An :class:`HFile` is a sorted, immutable run of KeyValues with a row-key
+index for point lookups.  Conceptually HFiles live on HDFS; the simulation
+keeps the cell objects plus an accurate serialized size so reads can be
+charged by the byte.
+"""
+
+import bisect
+import itertools
+
+_file_ids = itertools.count(1)
+
+
+class HFile:
+    """One immutable store file of a region."""
+
+    def __init__(self, cells):
+        self.file_id = next(_file_ids)
+        self._cells = sorted(cells, key=lambda c: c.sort_key())
+        self._row_keys = [c.row for c in self._cells]
+        self.size_bytes = sum(c.size_bytes() for c in self._cells)
+        self.min_row = self._cells[0].row if self._cells else None
+        self.max_row = self._cells[-1].row if self._cells else None
+
+    def __len__(self):
+        return len(self._cells)
+
+    def scan(self, start_row=None, stop_row=None):
+        """Yield cells with ``start_row <= row < stop_row`` in sort order."""
+        lo = 0
+        if start_row is not None:
+            lo = bisect.bisect_left(self._row_keys, start_row)
+        for i in range(lo, len(self._cells)):
+            cell = self._cells[i]
+            if stop_row is not None and cell.row >= stop_row:
+                return
+            yield cell
+
+    def may_contain_row(self, row):
+        """Range check used to skip files during point gets."""
+        if self.min_row is None:
+            return False
+        return self.min_row <= row <= self.max_row
+
+    def cells_in_range(self, start_row=None, stop_row=None):
+        return list(self.scan(start_row, stop_row))
+
+    def bytes_in_range(self, start_row=None, stop_row=None):
+        return sum(c.size_bytes() for c in self.scan(start_row, stop_row))
+
+    def __repr__(self):
+        return "HFile(id=%d, %d cells, %dB)" % (
+            self.file_id, len(self._cells), self.size_bytes)

@@ -1,0 +1,52 @@
+"""In-memory write buffer for a region (the LSM tree's top level)."""
+
+import bisect
+
+
+class MemStore:
+    """Sorted in-memory run of KeyValues awaiting a flush.
+
+    Inserts keep the run sorted (bisect insertion — fine at simulation
+    scale and keeps scans allocation-free).
+    """
+
+    def __init__(self):
+        self._cells = []
+        self._keys = []
+        self._bytes = 0
+
+    def add(self, cell):
+        key = cell.sort_key()
+        idx = bisect.bisect_left(self._keys, key)
+        self._keys.insert(idx, key)
+        self._cells.insert(idx, cell)
+        self._bytes += cell.size_bytes()
+
+    def scan(self, start_row=None, stop_row=None):
+        """Yield cells with ``start_row <= row < stop_row`` in sort order."""
+        lo = 0
+        if start_row is not None:
+            lo = bisect.bisect_left(self._keys, (start_row,))
+        for i in range(lo, len(self._cells)):
+            cell = self._cells[i]
+            if stop_row is not None and cell.row >= stop_row:
+                return
+            yield cell
+
+    def drain(self):
+        """Return all cells (sorted) and empty the store."""
+        cells = self._cells
+        self._cells = []
+        self._keys = []
+        self._bytes = 0
+        return cells
+
+    @property
+    def size_bytes(self):
+        return self._bytes
+
+    def __len__(self):
+        return len(self._cells)
+
+    def __bool__(self):
+        return bool(self._cells)

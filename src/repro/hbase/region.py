@@ -1,0 +1,193 @@
+"""Region: one key-range shard of an HBase table.
+
+A region owns a MemStore and a stack of HFiles, serves puts/deletes/gets/
+scans, and supports flush plus minor/major compaction.  Version resolution
+implements HBase semantics: latest timestamp wins, row tombstones shadow
+everything at or below their timestamp, column tombstones shadow one
+qualifier.
+"""
+
+import heapq
+
+from repro.hbase.cells import CellType, KeyValue, row_tombstone
+from repro.hbase.hfile import HFile
+from repro.hbase.memstore import MemStore
+
+
+class Region:
+    """One shard: ``start_row <= row < stop_row`` (None = unbounded)."""
+
+    def __init__(self, start_row=None, stop_row=None,
+                 flush_threshold_bytes=8 * 1024 * 1024):
+        self.start_row = start_row
+        self.stop_row = stop_row
+        self.memstore = MemStore()
+        self.hfiles = []
+        self.flush_threshold_bytes = flush_threshold_bytes
+        self.wal_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Writes.
+    # ------------------------------------------------------------------
+    def contains_row(self, row):
+        if self.start_row is not None and row < self.start_row:
+            return False
+        if self.stop_row is not None and row >= self.stop_row:
+            return False
+        return True
+
+    def apply(self, cell):
+        """Apply a put/delete cell: WAL append + memstore insert."""
+        self.wal_bytes += cell.size_bytes()
+        self.memstore.add(cell)
+        if self.memstore.size_bytes >= self.flush_threshold_bytes:
+            self.flush()
+
+    def put(self, row, qualifier, value, ts):
+        self.apply(KeyValue(row, qualifier, ts, CellType.PUT, value))
+
+    def delete_column(self, row, qualifier, ts):
+        self.apply(KeyValue(row, qualifier, ts, CellType.DELETE_COLUMN))
+
+    def delete_row(self, row, ts):
+        self.apply(row_tombstone(row, ts))
+
+    # ------------------------------------------------------------------
+    # Flush / compaction.
+    # ------------------------------------------------------------------
+    def flush(self):
+        if not self.memstore:
+            return None
+        hfile = HFile(self.memstore.drain())
+        self.hfiles.append(hfile)
+        return hfile
+
+    def compact(self, major=False):
+        """Merge store files.
+
+        Minor compaction merges all HFiles into one but keeps tombstones;
+        major compaction also resolves versions and discards tombstones
+        and shadowed cells.
+        """
+        self.flush()
+        if not self.hfiles:
+            return None
+        cells = list(self._merged_cells())
+        if major:
+            cells = list(_resolve(cells, versions=1, keep_deletes=False))
+        merged = HFile(cells)
+        self.hfiles = [merged] if cells else []
+        return merged
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+    def _merged_cells(self, start_row=None, stop_row=None):
+        sources = [self.memstore.scan(start_row, stop_row)]
+        sources.extend(f.scan(start_row, stop_row) for f in self.hfiles)
+        return heapq.merge(*sources, key=lambda c: c.sort_key())
+
+    def scan_cells(self, start_row=None, stop_row=None):
+        """Raw merged cell stream (pre-resolution), for cost accounting."""
+        return self._merged_cells(start_row, stop_row)
+
+    def scan(self, start_row=None, stop_row=None, versions=1):
+        """Yield resolved ``(row, {qualifier: value})`` in row order.
+
+        With ``versions > 1`` the dict values are lists of ``(ts, value)``
+        newest-first.
+        """
+        return _resolve_rows(self._merged_cells(start_row, stop_row),
+                             versions=versions)
+
+    def get(self, row, versions=1):
+        stop = row + b"\x00"
+        for _, data in self.scan(row, stop, versions=versions):
+            return data
+        return None
+
+    # ------------------------------------------------------------------
+    # Accounting.
+    # ------------------------------------------------------------------
+    @property
+    def store_bytes(self):
+        return self.memstore.size_bytes + sum(f.size_bytes for f in self.hfiles)
+
+    def bytes_in_range(self, start_row=None, stop_row=None):
+        total = sum(c.size_bytes() for c in self.memstore.scan(start_row, stop_row))
+        total += sum(f.bytes_in_range(start_row, stop_row) for f in self.hfiles)
+        return total
+
+    def cell_count(self):
+        return len(self.memstore) + sum(len(f) for f in self.hfiles)
+
+
+# ----------------------------------------------------------------------
+# Version/tombstone resolution.
+# ----------------------------------------------------------------------
+def _resolve(cells, versions=1, keep_deletes=True):
+    """Resolve a sorted cell stream into surviving cells.
+
+    Used by major compaction (``keep_deletes=False``) to rewrite history.
+    """
+    for row, row_cells in _group_by_row(cells):
+        survivors = _resolve_row(row_cells, versions)
+        if keep_deletes:
+            yield from row_cells
+        else:
+            yield from survivors
+
+
+def _group_by_row(cells):
+    current_row, bucket = None, []
+    for cell in cells:
+        if cell.row != current_row:
+            if bucket:
+                yield current_row, bucket
+            current_row, bucket = cell.row, []
+        bucket.append(cell)
+    if bucket:
+        yield current_row, bucket
+
+
+def _resolve_row(row_cells, versions):
+    """Surviving put cells of one row, newest-first per qualifier."""
+    row_delete_ts = -1
+    for cell in row_cells:
+        if cell.cell_type == CellType.DELETE_ROW and cell.ts > row_delete_ts:
+            row_delete_ts = cell.ts
+    survivors = []
+    current_qual = object()
+    col_delete_ts = -1
+    taken = 0
+    for cell in row_cells:
+        if cell.qualifier != current_qual:
+            current_qual = cell.qualifier
+            col_delete_ts = -1
+            taken = 0
+        if cell.cell_type == CellType.DELETE_COLUMN:
+            if cell.ts > col_delete_ts:
+                col_delete_ts = cell.ts
+            continue
+        if cell.cell_type == CellType.DELETE_ROW:
+            continue
+        if cell.ts <= row_delete_ts or cell.ts <= col_delete_ts:
+            continue
+        if taken < versions:
+            survivors.append(cell)
+            taken += 1
+    return survivors
+
+
+def _resolve_rows(cells, versions=1):
+    for row, row_cells in _group_by_row(cells):
+        survivors = _resolve_row(row_cells, versions)
+        if not survivors:
+            continue
+        if versions == 1:
+            yield row, {c.qualifier: c.value for c in survivors}
+        else:
+            data = {}
+            for c in survivors:
+                data.setdefault(c.qualifier, []).append((c.ts, c.value))
+            yield row, data

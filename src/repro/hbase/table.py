@@ -1,0 +1,198 @@
+"""Client-facing HBase table and the region-server service.
+
+:class:`HTable` routes operations to regions by key range and charges the
+cluster ledger for every random read/write:
+
+* ``put``/``delete`` — bytes at the HBase write rate plus per-op latency,
+* ``get`` — a seek plus the bytes of the touched cells,
+* ``scan`` — the *raw* merged cell bytes in range (LSM read amplification
+  included: shadowed versions and tombstones still cost I/O) plus a
+  per-row latency.
+
+Timestamps come from a logical clock owned by :class:`HBaseService` so the
+multi-version behaviour is deterministic.
+"""
+
+import bisect
+import itertools
+
+from repro.common.errors import TableExistsError, TableNotFoundError
+from repro.hbase.region import Region
+
+
+class HTable:
+    """One HBase table: a sorted list of regions plus the client API."""
+
+    def __init__(self, name, service, split_points=(), system=False):
+        self.name = name
+        self._service = service
+        self._cluster = service.cluster
+        #: system tables (metadata) are control-plane state cached by the
+        #: master; their accesses are not charged as data-path I/O.
+        self.system = system
+        bounds = [None] + sorted(split_points) + [None]
+        self.regions = [Region(bounds[i], bounds[i + 1])
+                        for i in range(len(bounds) - 1)]
+        self._split_points = sorted(split_points)
+
+    # ------------------------------------------------------------------
+    # Routing.
+    # ------------------------------------------------------------------
+    def _region_for(self, row):
+        idx = bisect.bisect_right(self._split_points, row)
+        return self.regions[idx]
+
+    def _regions_in_range(self, start_row, stop_row):
+        for region in self.regions:
+            if start_row is not None and region.stop_row is not None \
+                    and region.stop_row <= start_row:
+                continue
+            if stop_row is not None and region.start_row is not None \
+                    and region.start_row >= stop_row:
+                continue
+            yield region
+
+    # ------------------------------------------------------------------
+    # Writes.
+    # ------------------------------------------------------------------
+    def put(self, row, values, ts=None):
+        """Put ``{qualifier: value}`` cells for one row."""
+        ts = self._service.next_ts() if ts is None else ts
+        region = self._region_for(row)
+        nbytes = 0
+        for qualifier, value in values.items():
+            region.put(row, qualifier, value, ts)
+            nbytes += len(row) + len(qualifier) + 9 + len(value)
+        if not self.system:
+            self._cluster.charge_hbase_write(nbytes, nops=1)
+        return ts
+
+    def delete_row(self, row, ts=None):
+        ts = self._service.next_ts() if ts is None else ts
+        self._region_for(row).delete_row(row, ts)
+        if not self.system:
+            self._cluster.charge_hbase_write(len(row) + 9, nops=1)
+        return ts
+
+    def delete_column(self, row, qualifier, ts=None):
+        ts = self._service.next_ts() if ts is None else ts
+        self._region_for(row).delete_column(row, qualifier, ts)
+        if not self.system:
+            self._cluster.charge_hbase_write(
+                len(row) + len(qualifier) + 9, nops=1)
+        return ts
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+    def get(self, row, versions=1):
+        """Resolved cells of one row, or None if absent/deleted."""
+        region = self._region_for(row)
+        data = region.get(row, versions=versions)
+        if not self.system:
+            nbytes = region.bytes_in_range(row, row + b"\x00")
+            self._cluster.charge_hbase_read(max(nbytes, len(row)), nops=1)
+        return data
+
+    def scan(self, start_row=None, stop_row=None, versions=1):
+        """Yield resolved ``(row, cells)`` pairs in global row order."""
+        for region in self._regions_in_range(start_row, stop_row):
+            raw_bytes = 0
+            nrows = 0
+            for row, data in region.scan(start_row, stop_row,
+                                         versions=versions):
+                nrows += 1
+                yield row, data
+            if not self.system:
+                raw_bytes = region.bytes_in_range(start_row, stop_row)
+                self._cluster.charge_hbase_scan(raw_bytes, nrows)
+
+    def scan_all(self, **kwargs):
+        return list(self.scan(**kwargs))
+
+    # ------------------------------------------------------------------
+    # Maintenance.
+    # ------------------------------------------------------------------
+    def flush(self):
+        for region in self.regions:
+            region.flush()
+
+    def compact(self, major=False):
+        before = self.store_bytes
+        for region in self.regions:
+            region.compact(major=major)
+        # Compaction rewrites store files: charge read+write of the data.
+        self._cluster._charge("hbase", "compact", nbytes=before + self.store_bytes,
+                              nops=1,
+                              rate=self._cluster.profile.per_slot_rate(
+                                  self._cluster.profile.hbase_write_bps))
+
+    def truncate(self):
+        bounds = [None] + self._split_points + [None]
+        self.regions = [Region(bounds[i], bounds[i + 1])
+                        for i in range(len(bounds) - 1)]
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def store_bytes(self):
+        return sum(r.store_bytes for r in self.regions)
+
+    def bytes_in_range(self, start_row=None, stop_row=None):
+        return sum(r.bytes_in_range(start_row, stop_row)
+                   for r in self._regions_in_range(start_row, stop_row))
+
+    def cell_count(self):
+        return sum(r.cell_count() for r in self.regions)
+
+    def count_rows(self):
+        """Number of live (non-deleted) rows; charges a full scan."""
+        return sum(1 for _ in self.scan())
+
+    def is_empty(self):
+        for _ in itertools.islice(self.scan(), 1):
+            return False
+        return True
+
+
+class HBaseService:
+    """The HMaster + region servers: table catalog and logical clock."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._tables = {}
+        self._ts = itertools.count(1)
+
+    def next_ts(self):
+        return next(self._ts)
+
+    def create_table(self, name, split_points=(), system=False):
+        if name in self._tables:
+            raise TableExistsError("HBase table exists: %s" % name)
+        table = HTable(name, self, split_points=split_points, system=system)
+        self._tables[name] = table
+        return table
+
+    def table(self, name):
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError("no HBase table: %s" % name) from None
+
+    def has_table(self, name):
+        return name in self._tables
+
+    def drop_table(self, name):
+        if name not in self._tables:
+            raise TableNotFoundError("no HBase table: %s" % name)
+        del self._tables[name]
+
+    def ensure_table(self, name, split_points=(), system=False):
+        if name in self._tables:
+            return self._tables[name]
+        return self.create_table(name, split_points=split_points,
+                                 system=system)
+
+    def list_tables(self):
+        return sorted(self._tables)

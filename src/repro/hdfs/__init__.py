@@ -1,0 +1,15 @@
+"""Simulated HDFS: write-once files, blocks, replication, batch streams."""
+
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import HdfsFileSystem, HdfsWriteHandle
+from repro.hdfs.namenode import Block, INodeDirectory, INodeFile, NameNode
+
+__all__ = [
+    "DataNode",
+    "HdfsFileSystem",
+    "HdfsWriteHandle",
+    "Block",
+    "INodeDirectory",
+    "INodeFile",
+    "NameNode",
+]

@@ -1,0 +1,48 @@
+"""Simulated HDFS datanode: stores block replicas in memory."""
+
+from repro.common.errors import HdfsError
+
+
+class DataNode:
+    """One datanode holding block replicas keyed by block id."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.blocks = {}
+        self.alive = True
+
+    def store(self, block_id, data):
+        if not self.alive:
+            raise HdfsError("datanode %s is dead" % self.node_id)
+        self.blocks[block_id] = data
+
+    def fetch(self, block_id):
+        if not self.alive:
+            raise HdfsError("datanode %s is dead" % self.node_id)
+        try:
+            return self.blocks[block_id]
+        except KeyError:
+            raise HdfsError(
+                "datanode %s has no replica of block %s" % (self.node_id, block_id)
+            ) from None
+
+    def has_block(self, block_id):
+        return self.alive and block_id in self.blocks
+
+    def drop(self, block_id):
+        self.blocks.pop(block_id, None)
+
+    @property
+    def used_bytes(self):
+        return sum(len(b) for b in self.blocks.values())
+
+    def kill(self):
+        """Simulate a node crash; replicas become unreachable."""
+        self.alive = False
+
+    def revive(self):
+        self.alive = True
+
+    def __repr__(self):
+        state = "up" if self.alive else "DOWN"
+        return "DataNode(%s, %d blocks, %s)" % (self.node_id, len(self.blocks), state)

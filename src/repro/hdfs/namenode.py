@@ -1,0 +1,265 @@
+"""Simulated HDFS namenode: namespace tree, block map, replica placement.
+
+The namespace is a map of absolute paths to inodes.  Files are write-once:
+once an :class:`INodeFile` is closed it can never be modified, only
+deleted or renamed — exactly the HDFS contract DualTable's Master Table
+relies on.
+"""
+
+import itertools
+import random
+
+from repro.common.errors import (
+    FileAlreadyExistsError,
+    FileNotFoundHdfsError,
+    HdfsError,
+    ImmutableFileError,
+    ReplicationError,
+)
+
+
+class Block:
+    """Metadata for one block: id, length, and the replica datanode ids."""
+
+    __slots__ = ("block_id", "length", "replicas")
+
+    def __init__(self, block_id, length, replicas):
+        self.block_id = block_id
+        self.length = length
+        self.replicas = list(replicas)
+
+    def __repr__(self):
+        return "Block(%d, %dB, replicas=%r)" % (
+            self.block_id, self.length, self.replicas)
+
+
+class INodeFile:
+    """A file inode: ordered block list plus open/closed state."""
+
+    def __init__(self, path, replication):
+        self.path = path
+        self.replication = replication
+        self.blocks = []
+        self.closed = False
+
+    @property
+    def length(self):
+        return sum(b.length for b in self.blocks)
+
+
+class INodeDirectory:
+    """A directory inode (directories are implicit containers)."""
+
+    def __init__(self, path):
+        self.path = path
+
+
+def _normalize(path):
+    if not path.startswith("/"):
+        raise HdfsError("HDFS paths must be absolute: %r" % path)
+    while "//" in path:
+        path = path.replace("//", "/")
+    if len(path) > 1 and path.endswith("/"):
+        path = path.rstrip("/")
+    return path
+
+
+def _parents(path):
+    parts = path.strip("/").split("/")
+    for i in range(1, len(parts)):
+        yield "/" + "/".join(parts[:i])
+
+
+class NameNode:
+    """Namespace and block management for the simulated HDFS."""
+
+    def __init__(self, datanodes, replication=3, seed=0):
+        self.datanodes = {dn.node_id: dn for dn in datanodes}
+        self.replication = replication
+        self._namespace = {"/": INodeDirectory("/")}
+        self._block_ids = itertools.count(1)
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Namespace operations.
+    # ------------------------------------------------------------------
+    def exists(self, path):
+        return _normalize(path) in self._namespace
+
+    def lookup(self, path):
+        path = _normalize(path)
+        try:
+            return self._namespace[path]
+        except KeyError:
+            raise FileNotFoundHdfsError("no such path: %s" % path) from None
+
+    def is_file(self, path):
+        return isinstance(self._namespace.get(_normalize(path)), INodeFile)
+
+    def is_dir(self, path):
+        return isinstance(self._namespace.get(_normalize(path)), INodeDirectory)
+
+    def mkdirs(self, path):
+        path = _normalize(path)
+        node = self._namespace.get(path)
+        if isinstance(node, INodeFile):
+            raise FileAlreadyExistsError("file exists at %s" % path)
+        for parent in _parents(path):
+            existing = self._namespace.get(parent)
+            if isinstance(existing, INodeFile):
+                raise HdfsError("parent %s is a file" % parent)
+            self._namespace.setdefault(parent, INodeDirectory(parent))
+        self._namespace.setdefault(path, INodeDirectory(path))
+
+    def create_file(self, path, replication=None):
+        path = _normalize(path)
+        if path in self._namespace:
+            raise FileAlreadyExistsError("path already exists: %s" % path)
+        parent = path.rsplit("/", 1)[0] or "/"
+        self.mkdirs(parent)
+        inode = INodeFile(path, replication or self.replication)
+        self._namespace[path] = inode
+        return inode
+
+    def close_file(self, inode):
+        inode.closed = True
+
+    def listdir(self, path):
+        path = _normalize(path)
+        node = self.lookup(path)
+        if isinstance(node, INodeFile):
+            raise HdfsError("not a directory: %s" % path)
+        prefix = path if path.endswith("/") else path + "/"
+        children = set()
+        for other in self._namespace:
+            if other != path and other.startswith(prefix):
+                rest = other[len(prefix):]
+                children.add(rest.split("/", 1)[0])
+        return sorted(children)
+
+    def delete(self, path, recursive=False):
+        path = _normalize(path)
+        node = self.lookup(path)
+        if isinstance(node, INodeFile):
+            self._drop_file_blocks(node)
+            del self._namespace[path]
+            return 1
+        prefix = path if path.endswith("/") else path + "/"
+        doomed = [p for p in self._namespace
+                  if p == path or p.startswith(prefix)]
+        files = [p for p in doomed if isinstance(self._namespace[p], INodeFile)]
+        if files and not recursive:
+            raise HdfsError("directory not empty: %s" % path)
+        for p in doomed:
+            if p == "/":
+                continue
+            node = self._namespace.pop(p)
+            if isinstance(node, INodeFile):
+                self._drop_file_blocks(node)
+        return len(doomed)
+
+    def rename(self, src, dst):
+        src, dst = _normalize(src), _normalize(dst)
+        if dst in self._namespace:
+            raise FileAlreadyExistsError("destination exists: %s" % dst)
+        node = self.lookup(src)
+        if isinstance(node, INodeFile):
+            del self._namespace[src]
+            node.path = dst
+            parent = dst.rsplit("/", 1)[0] or "/"
+            self.mkdirs(parent)
+            self._namespace[dst] = node
+            return
+        prefix = src if src.endswith("/") else src + "/"
+        moves = [(p, dst + p[len(src):]) for p in list(self._namespace)
+                 if p == src or p.startswith(prefix)]
+        for old, new in moves:
+            inode = self._namespace.pop(old)
+            inode.path = new
+            self._namespace[new] = inode
+
+    # ------------------------------------------------------------------
+    # Block management.
+    # ------------------------------------------------------------------
+    def allocate_block(self, inode, data):
+        if inode.closed:
+            raise ImmutableFileError(
+                "file %s is closed; HDFS files are write-once" % inode.path)
+        live = [dn for dn in self.datanodes.values() if dn.alive]
+        if len(live) < 1:
+            raise ReplicationError("no live datanodes")
+        want = min(inode.replication, len(live))
+        targets = self._rng.sample(live, want)
+        block = Block(next(self._block_ids), len(data),
+                      [dn.node_id for dn in targets])
+        for dn in targets:
+            dn.store(block.block_id, data)
+        inode.blocks.append(block)
+        return block
+
+    def read_block(self, block):
+        for node_id in block.replicas:
+            dn = self.datanodes.get(node_id)
+            if dn is not None and dn.has_block(block.block_id):
+                return dn.fetch(block.block_id)
+        raise HdfsError("all replicas of block %d are unavailable"
+                        % block.block_id)
+
+    def _drop_file_blocks(self, inode):
+        for block in inode.blocks:
+            for node_id in block.replicas:
+                dn = self.datanodes.get(node_id)
+                if dn is not None:
+                    dn.drop(block.block_id)
+
+    # ------------------------------------------------------------------
+    # Failure handling.
+    # ------------------------------------------------------------------
+    def kill_datanode(self, node_id):
+        self.datanodes[node_id].kill()
+
+    def re_replicate(self):
+        """Restore the replication factor after datanode failures.
+
+        Returns the number of new replicas created.
+        """
+        live = [dn for dn in self.datanodes.values() if dn.alive]
+        created = 0
+        for node in self._namespace.values():
+            if not isinstance(node, INodeFile):
+                continue
+            for block in node.blocks:
+                holders = [nid for nid in block.replicas
+                           if self.datanodes[nid].alive
+                           and self.datanodes[nid].has_block(block.block_id)]
+                missing = min(node.replication, len(live)) - len(holders)
+                if missing <= 0:
+                    block.replicas = holders
+                    continue
+                data = None
+                for nid in holders:
+                    data = self.datanodes[nid].fetch(block.block_id)
+                    break
+                if data is None:
+                    raise HdfsError("block %d lost all replicas"
+                                    % block.block_id)
+                candidates = [dn for dn in live if dn.node_id not in holders]
+                for dn in self._rng.sample(candidates,
+                                           min(missing, len(candidates))):
+                    dn.store(block.block_id, data)
+                    holders.append(dn.node_id)
+                    created += 1
+                block.replicas = holders
+        return created
+
+    def files_under(self, path):
+        """All file inodes at or under ``path`` (sorted by path)."""
+        path = _normalize(path)
+        node = self.lookup(path)
+        if isinstance(node, INodeFile):
+            return [node]
+        prefix = path if path.endswith("/") else path + "/"
+        return sorted(
+            (n for p, n in self._namespace.items()
+             if isinstance(n, INodeFile) and p.startswith(prefix)),
+            key=lambda n: n.path)

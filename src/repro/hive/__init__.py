@@ -1,0 +1,15 @@
+"""Hive-like SQL engine: parser, expressions, planner, storage handlers."""
+
+from repro.hive.parser import parse, parse_script
+from repro.hive.session import HiveSession, QueryResult
+from repro.hive.types import Column, HiveType, TableSchema
+
+__all__ = [
+    "parse",
+    "parse_script",
+    "HiveSession",
+    "QueryResult",
+    "Column",
+    "HiveType",
+    "TableSchema",
+]

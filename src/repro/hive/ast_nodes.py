@@ -1,0 +1,259 @@
+"""AST node definitions for the HiveQL dialect.
+
+Two families: expression nodes (evaluable against a row environment) and
+statement nodes (handed to the planner).
+"""
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    value: object
+
+
+@dataclass
+class ColumnRef(Expr):
+    name: str
+    qualifier: str = None   # table alias, e.g. ``t`` in ``t.rq``
+
+    @property
+    def display(self):
+        return "%s.%s" % (self.qualifier, self.name) if self.qualifier else self.name
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str                 # '+', '-', '*', '/', '%', '=', '!=', '<', ...
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class LogicalOp(Expr):
+    op: str                 # 'and' | 'or'
+    operands: list
+
+
+@dataclass
+class NotOp(Expr):
+    operand: Expr
+
+
+@dataclass
+class UnaryMinus(Expr):
+    operand: Expr
+
+
+@dataclass
+class FuncCall(Expr):
+    name: str               # lowercase function name
+    args: list
+    distinct: bool = False
+
+
+@dataclass
+class Star(Expr):
+    qualifier: str = None
+
+
+@dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: list             # list of Expr, or a single SubQueryExpr
+    negated: bool = False
+
+
+@dataclass
+class LikeOp(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass
+class CaseWhen(Expr):
+    whens: list             # [(cond_expr, result_expr), ...]
+    default: Expr = None
+
+
+@dataclass
+class SubQueryExpr(Expr):
+    """Uncorrelated scalar or IN-list subquery, evaluated eagerly."""
+
+    query: object           # SelectStmt
+
+
+# ----------------------------------------------------------------------
+# Statements.
+# ----------------------------------------------------------------------
+class Statement:
+    """Base class for statement nodes."""
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: str = None
+
+
+@dataclass
+class TableRef:
+    """FROM-clause source: a named table or a derived subquery."""
+
+    name: str = None
+    alias: str = None
+    subquery: object = None     # SelectStmt when derived
+
+    @property
+    def binding(self):
+        return self.alias or self.name
+
+
+@dataclass
+class JoinClause:
+    kind: str                   # 'inner' | 'left' | 'right' | 'full'
+    table: TableRef
+    condition: Expr
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectStmt(Statement):
+    items: list
+    source: TableRef = None
+    distinct: bool = False
+    joins: list = field(default_factory=list)
+    where: Expr = None
+    group_by: list = field(default_factory=list)
+    having: Expr = None
+    order_by: list = field(default_factory=list)
+    limit: int = None
+
+
+@dataclass
+class UnionAllStmt(Statement):
+    """``SELECT ... UNION ALL SELECT ...`` — branch results concatenated.
+
+    Each branch keeps its own ORDER BY/LIMIT (wrap the union in a derived
+    table to order the combined result, as in Hive).
+    """
+
+    selects: list = field(default_factory=list)
+
+
+@dataclass
+class InsertStmt(Statement):
+    table: str
+    overwrite: bool
+    query: SelectStmt = None
+    values: list = None         # list of rows (list of Expr)
+    partition_spec: dict = None  # static partition: {column: literal}
+
+
+@dataclass
+class UpdateStmt(Statement):
+    table: str
+    alias: str
+    assignments: list           # [(column_name, Expr), ...]
+    where: Expr = None
+
+
+@dataclass
+class DeleteStmt(Statement):
+    table: str
+    alias: str = None
+    where: Expr = None
+
+
+@dataclass
+class MergeStmt(Statement):
+    """``MERGE INTO target USING source ON cond WHEN [NOT] MATCHED ...``
+
+    The proprietary upsert the paper's Table I counts among the grid DML
+    statements ("the proprietary MERGE INTO operations").
+    """
+
+    target: str
+    alias: str
+    source: TableRef = None
+    condition: Expr = None
+    matched_assignments: list = field(default_factory=list)
+    insert_values: list = None      # list of Expr, or None (no insert arm)
+
+
+@dataclass
+class CreateTableStmt(Statement):
+    table: str
+    columns: list               # [(name, type_text), ...]
+    storage: str = "orc"        # orc | hbase | dualtable | acid
+    properties: dict = field(default_factory=dict)
+    if_not_exists: bool = False
+    partition_columns: list = field(default_factory=list)
+
+
+@dataclass
+class AlterDropPartitionStmt(Statement):
+    """``ALTER TABLE t DROP PARTITION (p = 'v', ...)``"""
+
+    table: str
+    spec: dict = field(default_factory=dict)    # column -> literal value
+
+
+@dataclass
+class CreateViewStmt(Statement):
+    """``CREATE VIEW v AS SELECT ...`` — a named, expanded-on-use query."""
+
+    name: str
+    query: Statement = None     # SelectStmt or UnionAllStmt
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropTableStmt(Statement):
+    table: str
+    if_exists: bool = False
+
+
+@dataclass
+class CompactStmt(Statement):
+    table: str
+    major: bool = True
+
+
+@dataclass
+class ShowTablesStmt(Statement):
+    pass
+
+
+@dataclass
+class ShowPartitionsStmt(Statement):
+    table: str = None
+
+
+@dataclass
+class ExplainStmt(Statement):
+    statement: Statement = None
+
+
+@dataclass
+class DescribeStmt(Statement):
+    table: str

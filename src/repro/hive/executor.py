@@ -1,0 +1,729 @@
+"""SELECT execution: scans, reduce-side joins, hash aggregation, sorting.
+
+The executor compiles a :class:`~repro.hive.ast_nodes.SelectStmt` into one
+or more MapReduce jobs, mirroring how Hive lowers HiveQL:
+
+* leaf scans are map tasks with projection + predicate pushdown,
+* each join is one reduce-side-join job (left-deep chaining, single-side
+  conjuncts pushed below the join),
+* GROUP BY is a hash-aggregation map phase plus a merging reduce,
+* ORDER BY / LIMIT run as a final (charged) pass.
+
+Intermediate results between chained jobs are "materialized": their
+estimated serialized size is charged as HDFS write+read, like Hive's
+inter-job temp files.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import AnalysisError
+from repro.mapreduce import InputSplit, Job, estimate_record_bytes
+from repro.hive import ast_nodes as ast
+from repro.hive.aggregates import (AggregateSpec, rewrite_aggregates,
+                                   validate_no_nested_aggregates)
+from repro.hive.expressions import (Env, compile_expr, contains_aggregate,
+                                    find_subqueries, is_true,
+                                    referenced_columns, walk)
+from repro.hive.pushdown import extract_ranges
+
+
+# ----------------------------------------------------------------------
+# Row sources.
+# ----------------------------------------------------------------------
+@dataclass
+class ScanSource:
+    """A leaf table scan with pushdown applied."""
+
+    handler: object
+    alias: str
+    projection: list            # column names read from storage
+    env: Env                    # environment over the projected tuple
+    filter_expr: object = None  # residual row filter (AST)
+    ranges: dict = field(default_factory=dict)
+
+    def splits(self):
+        return self.handler.scan_splits(self.projection, self.ranges)
+
+    def make_reader(self):
+        handler = self.handler
+        predicate = (compile_expr(self.filter_expr, self.env)
+                     if self.filter_expr is not None else None)
+
+        def read(split, ctx):
+            for values in handler.read_split(split, ctx):
+                if predicate is None or is_true(predicate(values)):
+                    yield values
+        return read
+
+
+@dataclass
+class MaterializedSource:
+    """An in-memory intermediate relation (Hive temp-file analogue)."""
+
+    rows: list
+    env: Env
+    bytes_estimate: int = 0
+
+    def splits(self, chunk_rows=20000):
+        if not self.rows:
+            return [InputSplit(payload=[], size_bytes=0, label="mem[empty]")]
+        per_row = max(1, self.bytes_estimate // max(1, len(self.rows)))
+        return [
+            InputSplit(payload=self.rows[i:i + chunk_rows],
+                       size_bytes=per_row * len(self.rows[i:i + chunk_rows]),
+                       label="mem[%d]" % i)
+            for i in range(0, len(self.rows), chunk_rows)
+        ]
+
+    def make_reader(self):
+        def read(split, ctx):
+            ctx.cluster.charge_hdfs_read(split.size_bytes)
+            yield from split.payload
+        return read
+
+
+def merge_envs(left_env, right_env):
+    """Environment over concatenated (left_tuple + right_tuple) rows."""
+    merged = Env()
+    for name in left_env.names():
+        slot = left_env.try_resolve(name)
+        if slot is not None:
+            merged.bind(name, slot)
+    offset = left_env.width
+    for name in right_env.names():
+        slot = right_env.try_resolve(name)
+        if slot is not None:
+            merged.bind(name, offset + slot)
+    merged.width = left_env.width + right_env.width
+    return merged
+
+
+class QueryResultRows:
+    """Schema names + row tuples returned by the executor."""
+
+    def __init__(self, names, rows):
+        self.names = names
+        self.rows = rows
+
+
+# ----------------------------------------------------------------------
+# Executor.
+# ----------------------------------------------------------------------
+class SelectExecutor:
+    """Executes one SELECT statement for a session."""
+
+    def __init__(self, session):
+        self.session = session
+        self.jobs = []
+
+    @property
+    def cluster(self):
+        return self.session.env.cluster
+
+    @property
+    def runner(self):
+        return self.session.env.runner
+
+    # ------------------------------------------------------------------
+    def run(self, stmt):
+        if isinstance(stmt, ast.UnionAllStmt):
+            return self._union_all(stmt)
+        stmt = self._materialize_subqueries(stmt)
+        if stmt.source is None:
+            return self._constant_select(stmt)
+        items = self._expand_stars_early(stmt)
+        relation = self._execute_from(stmt, items)
+        return self._finalize(stmt, items, relation)
+
+    def _union_all(self, stmt):
+        """Concatenate branch results (schemas must agree in arity)."""
+        names = None
+        rows = []
+        for select in stmt.selects:
+            branch = self.run(select)
+            if names is None:
+                names = branch.names
+            elif len(branch.names) != len(names):
+                raise AnalysisError(
+                    "UNION ALL branches have %d vs %d columns"
+                    % (len(names), len(branch.names)))
+            rows.extend(branch.rows)
+        self.cluster.charge_cpu_rows(len(rows))
+        return QueryResultRows(names or [], rows)
+
+    # ------------------------------------------------------------------
+    # Subqueries (uncorrelated; evaluated eagerly, costs accounted).
+    # ------------------------------------------------------------------
+    def _materialize_subqueries(self, stmt):
+        def rewrite(expr):
+            if expr is None or not find_subqueries(expr):
+                return expr
+            return self._rewrite_expr_subqueries(expr)
+        stmt.where = rewrite(stmt.where)
+        stmt.having = rewrite(stmt.having)
+        for item in stmt.items:
+            item.expr = rewrite(item.expr)
+        for join in stmt.joins:
+            join.condition = rewrite(join.condition)
+        return stmt
+
+    def _rewrite_expr_subqueries(self, expr):
+        if isinstance(expr, ast.SubQueryExpr):
+            result = self._run_subquery(expr.query)
+            if len(result.rows) > 1:
+                raise AnalysisError(
+                    "scalar subquery returned %d rows" % len(result.rows))
+            value = result.rows[0][0] if result.rows else None
+            return ast.Literal(value=value)
+        if isinstance(expr, ast.InList):
+            items = []
+            for item in expr.items:
+                if isinstance(item, ast.SubQueryExpr):
+                    result = self._run_subquery(item.query)
+                    values = frozenset(r[0] for r in result.rows)
+                    items.append(ast.Literal(value=values))
+                else:
+                    items.append(self._rewrite_expr_subqueries(item))
+            return ast.InList(
+                operand=self._rewrite_expr_subqueries(expr.operand),
+                items=items, negated=expr.negated)
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(op=expr.op,
+                                left=self._rewrite_expr_subqueries(expr.left),
+                                right=self._rewrite_expr_subqueries(expr.right))
+        if isinstance(expr, ast.LogicalOp):
+            return ast.LogicalOp(op=expr.op,
+                                 operands=[self._rewrite_expr_subqueries(o)
+                                           for o in expr.operands])
+        if isinstance(expr, ast.NotOp):
+            return ast.NotOp(
+                operand=self._rewrite_expr_subqueries(expr.operand))
+        if isinstance(expr, ast.FuncCall):
+            return ast.FuncCall(name=expr.name,
+                                args=[self._rewrite_expr_subqueries(a)
+                                      for a in expr.args],
+                                distinct=expr.distinct)
+        return expr
+
+    def _run_subquery(self, query):
+        sub = SelectExecutor(self.session)
+        result = sub.run(query)
+        self.jobs.extend(sub.jobs)
+        return result
+
+    # ------------------------------------------------------------------
+    # Star expansion (needs source schemas only, not data).
+    # ------------------------------------------------------------------
+    def _expand_stars_early(self, stmt):
+        items = []
+        for item in stmt.items:
+            if not isinstance(item.expr, ast.Star):
+                items.append(item)
+                continue
+            qualifier = item.expr.qualifier
+            refs = [stmt.source] + [j.table for j in stmt.joins]
+            for ref in refs:
+                if qualifier and ref.binding.lower() != qualifier.lower():
+                    continue
+                for name in self._source_column_list(ref):
+                    col = ast.ColumnRef(name=name, qualifier=ref.binding)
+                    items.append(ast.SelectItem(expr=col, alias=name))
+        if not items:
+            raise AnalysisError("SELECT list is empty after * expansion")
+        return items
+
+    def _source_column_list(self, table_ref):
+        table_ref = self._resolve_view(table_ref)
+        if table_ref.subquery is not None:
+            return self.session.infer_select_names(table_ref.subquery)
+        info = self.session.metastore.table(table_ref.name)
+        return info.schema.names
+
+    def _resolve_view(self, table_ref):
+        """Expand a view reference into a derived table (in place).
+
+        The stored view AST is deep-copied: execution rewrites statement
+        trees in place (subquery materialization), and the view must stay
+        pristine for its next use.
+        """
+        import copy
+
+        if table_ref.subquery is None and table_ref.name is not None:
+            view = self.session.view_query(table_ref.name)
+            if view is not None:
+                table_ref.subquery = copy.deepcopy(view)
+        return table_ref
+
+    # ------------------------------------------------------------------
+    # FROM clause → a joined relation with per-binding pushdown.
+    # ------------------------------------------------------------------
+    def _execute_from(self, stmt, items):
+        side_filters, residual = self._split_where(stmt)
+        needed = self._needed_columns(stmt, items, residual)
+        left = self._leaf_relation(stmt.source,
+                                   side_filters.get(stmt.source.binding),
+                                   needed.get(stmt.source.binding.lower()))
+        for join in stmt.joins:
+            right = self._leaf_relation(
+                join.table, side_filters.get(join.table.binding),
+                needed.get(join.table.binding.lower()))
+            left = self._join(left, right, join)
+        relation = left
+        if residual is not None:
+            relation = self._apply_residual(relation, residual)
+        return relation
+
+    def _apply_residual(self, relation, residual):
+        if isinstance(relation, ScanSource):
+            combined = (residual if relation.filter_expr is None
+                        else ast.LogicalOp(op="and",
+                                           operands=[relation.filter_expr,
+                                                     residual]))
+            relation.filter_expr = combined
+            relation.ranges = extract_ranges(combined)
+            return relation
+        env = relation.env
+        predicate = compile_expr(residual, env)
+        rows = [r for r in relation.rows if is_true(predicate(r))]
+        self.cluster.charge_cpu_rows(len(relation.rows))
+        return MaterializedSource(rows, env, estimate_record_bytes(rows))
+
+    def _split_where(self, stmt):
+        """Partition WHERE conjuncts by which FROM binding they touch."""
+        if stmt.where is None:
+            return {}, None
+        bindings = [stmt.source.binding] + [j.table.binding
+                                            for j in stmt.joins]
+        available = {
+            ref.binding: {n.lower() for n in self._source_column_list(ref)}
+            for ref in [stmt.source] + [j.table for j in stmt.joins]
+        }
+        side_filters = {}
+        residual = []
+        single_source = len(bindings) == 1
+        for conjunct in _iter_conjuncts(stmt.where):
+            owner = self._owning_binding(conjunct, available, bindings)
+            if owner is not None or single_source:
+                owner = owner or bindings[0]
+                side_filters.setdefault(owner, []).append(conjunct)
+            else:
+                residual.append(conjunct)
+        merged = {b: _and(conj) for b, conj in side_filters.items()}
+        return merged, _and(residual) if residual else None
+
+    def _owning_binding(self, expr, available, bindings):
+        touched = set()
+        for node in walk(expr):
+            if not isinstance(node, ast.ColumnRef):
+                continue
+            if node.qualifier:
+                touched.add(node.qualifier.lower())
+            else:
+                owners = [b for b in bindings
+                          if node.name.lower() in available[b]]
+                if len(owners) != 1:
+                    return None
+                touched.add(owners[0].lower())
+        if len(touched) != 1:
+            return None
+        lower_map = {b.lower(): b for b in bindings}
+        return lower_map.get(next(iter(touched)))
+
+    def _needed_columns(self, stmt, items, residual):
+        """Column names each binding must produce (lowercased sets)."""
+        refs = [stmt.source] + [j.table for j in stmt.joins]
+        available = {ref.binding.lower():
+                     {n.lower() for n in self._source_column_list(ref)}
+                     for ref in refs}
+        needed = {b: set() for b in available}
+        exprs = [item.expr for item in items]
+        exprs.extend(j.condition for j in stmt.joins)
+        exprs.extend(stmt.group_by)
+        if residual is not None:
+            exprs.append(residual)
+        if stmt.having is not None:
+            exprs.append(stmt.having)
+        exprs.extend(o.expr for o in stmt.order_by)
+        for expr in exprs:
+            if expr is None:
+                continue
+            for node in walk(expr):
+                if not isinstance(node, ast.ColumnRef):
+                    continue
+                name = node.name.lower()
+                if node.qualifier:
+                    bucket = needed.get(node.qualifier.lower())
+                    if bucket is not None:
+                        bucket.add(name)
+                else:
+                    for binding, cols in available.items():
+                        if name in cols:
+                            needed[binding].add(name)
+        return needed
+
+    def _leaf_relation(self, table_ref, side_filter, needed):
+        table_ref = self._resolve_view(table_ref)
+        if table_ref.subquery is not None:
+            result = self._run_subquery(table_ref.subquery)
+            env = Env()
+            env.add_schema(result.names, alias=table_ref.binding)
+            rows = result.rows
+            if side_filter is not None:
+                predicate = compile_expr(side_filter, env)
+                rows = [r for r in rows if is_true(predicate(r))]
+            return MaterializedSource(rows, env, estimate_record_bytes(rows))
+        info = self.session.metastore.table(table_ref.name)
+        return self._make_scan(info, table_ref.binding, side_filter, needed)
+
+    def _make_scan(self, info, alias, side_filter, needed):
+        schema = info.schema
+        if needed is None:
+            projection = schema.names
+        else:
+            want = set(needed)
+            if side_filter is not None:
+                want |= referenced_columns(side_filter)
+            projection = [c.name for c in schema if c.name.lower() in want]
+            if not projection:
+                projection = [schema.columns[0].name]
+        env = Env()
+        env.add_schema(projection, alias=alias)
+        ranges = extract_ranges(side_filter) if side_filter is not None else {}
+        return ScanSource(handler=info.handler, alias=alias,
+                          projection=projection, env=env,
+                          filter_expr=side_filter, ranges=ranges)
+
+    # ------------------------------------------------------------------
+    # Join (reduce-side).
+    # ------------------------------------------------------------------
+    def _join(self, left, right, join):
+        left_env, right_env = left.env, right.env
+        merged_env = merge_envs(left_env, right_env)
+        equi, leftover = self._split_join_condition(join.condition,
+                                                    left_env, right_env)
+        if not equi:
+            raise AnalysisError(
+                "join requires at least one equi-condition: %r"
+                % (join.condition,))
+        left_keys = [compile_expr(l, left_env) for l, _ in equi]
+        right_keys = [compile_expr(r, right_env) for _, r in equi]
+        leftover_fn = (compile_expr(leftover, merged_env)
+                       if leftover is not None else None)
+        left_reader, right_reader = left.make_reader(), right.make_reader()
+        left_width, right_width = left_env.width, right_env.width
+        kind = join.kind
+        null_counter = iter(range(1 << 60))
+
+        splits = ([InputSplit(payload=("L", s), size_bytes=s.size_bytes,
+                              label="L:" + s.label) for s in left.splits()]
+                  + [InputSplit(payload=("R", s), size_bytes=s.size_bytes,
+                                label="R:" + s.label)
+                     for s in right.splits()])
+
+        def map_fn(split, ctx):
+            side, inner = split.payload
+            if side == "L":
+                for values in left_reader(inner, ctx):
+                    key = tuple(k(values) for k in left_keys)
+                    if any(k is None for k in key):
+                        if kind in ("left", "full"):
+                            yield (("\x00null", next(null_counter)),
+                                   ("L", values))
+                        continue
+                    yield key, ("L", values)
+            else:
+                for values in right_reader(inner, ctx):
+                    key = tuple(k(values) for k in right_keys)
+                    if any(k is None for k in key):
+                        if kind in ("right", "full"):
+                            yield (("\x00null", next(null_counter)),
+                                   ("R", values))
+                        continue
+                    yield key, ("R", values)
+
+        def reduce_fn(key, tagged, ctx):
+            lefts = [v for tag, v in tagged if tag == "L"]
+            rights = [v for tag, v in tagged if tag == "R"]
+            null_right = (None,) * right_width
+            null_left = (None,) * left_width
+            if isinstance(key, tuple) and key and key[0] == "\x00null":
+                # NULL join keys never match; outer sides still emit.
+                for lv in lefts:
+                    yield lv + null_right
+                for rv in rights:
+                    yield null_left + rv
+                return
+            matched_right = set()
+            for lv in lefts:
+                matched = False
+                for i, rv in enumerate(rights):
+                    combined = lv + rv
+                    if leftover_fn is None or is_true(leftover_fn(combined)):
+                        matched = True
+                        matched_right.add(i)
+                        yield combined
+                if not matched and kind in ("left", "full"):
+                    yield lv + null_right
+            if kind in ("right", "full"):
+                for i, rv in enumerate(rights):
+                    if i not in matched_right:
+                        yield null_left + rv
+
+        job = Job(name="join", splits=splits, map_fn=map_fn,
+                  reduce_fn=reduce_fn,
+                  num_reducers=self.cluster.profile.total_reduce_slots)
+        result = self.runner.run(job)
+        self.jobs.append(result)
+        rows = result.outputs
+        source = MaterializedSource(rows, merged_env,
+                                    estimate_record_bytes(rows))
+        # Hive writes inter-job results to HDFS temp files.
+        self.cluster.charge_hdfs_write(source.bytes_estimate)
+        return source
+
+    def _split_join_condition(self, condition, left_env, right_env):
+        equi, leftover = [], []
+        for conjunct in _iter_conjuncts(condition):
+            pair = self._equi_pair(conjunct, left_env, right_env)
+            if pair is not None:
+                equi.append(pair)
+            else:
+                leftover.append(conjunct)
+        return equi, _and(leftover) if leftover else None
+
+    def _equi_pair(self, expr, left_env, right_env):
+        if not (isinstance(expr, ast.BinaryOp) and expr.op == "="):
+            return None
+        sides = []
+        for operand in (expr.left, expr.right):
+            cols = [n for n in walk(operand) if isinstance(n, ast.ColumnRef)]
+            if not cols:
+                return None
+            in_left = all(_resolvable(c, left_env) for c in cols)
+            in_right = all(_resolvable(c, right_env) for c in cols)
+            if in_left and not in_right:
+                sides.append("L")
+            elif in_right and not in_left:
+                sides.append("R")
+            else:
+                return None
+        if set(sides) != {"L", "R"}:
+            return None
+        if sides[0] == "L":
+            return (expr.left, expr.right)
+        return (expr.right, expr.left)
+
+    # ------------------------------------------------------------------
+    # Final stage: aggregation or projection, then ORDER BY / LIMIT.
+    # ------------------------------------------------------------------
+    def _finalize(self, stmt, items, relation):
+        is_aggregate = bool(stmt.group_by) or any(
+            contains_aggregate(item.expr) for item in items)
+        if stmt.having is not None and not is_aggregate:
+            raise AnalysisError("HAVING requires GROUP BY or aggregates")
+        if is_aggregate:
+            if stmt.distinct:
+                raise AnalysisError(
+                    "SELECT DISTINCT cannot be combined with aggregates")
+            names, rows = self._aggregate_stage(stmt, items, relation)
+        else:
+            names, rows = self._projection_stage(stmt, items, relation)
+            if stmt.distinct:
+                seen = set()
+                deduped = []
+                for row in rows:
+                    if row not in seen:
+                        seen.add(row)
+                        deduped.append(row)
+                self.cluster.charge_cpu_rows(len(rows))
+                rows = deduped
+        rows = self._order_and_limit(stmt, names, rows)
+        return QueryResultRows(names, rows)
+
+    def _projection_stage(self, stmt, items, relation):
+        names = [_output_name(item, i) for i, item in enumerate(items)]
+        compiled = [compile_expr(item.expr, relation.env) for item in items]
+        if isinstance(relation, MaterializedSource):
+            rows = [tuple(fn(r) for fn in compiled) for r in relation.rows]
+            self.cluster.charge_cpu_rows(len(relation.rows))
+            return names, rows
+        reader = relation.make_reader()
+
+        def map_fn(split, ctx):
+            for values in reader(split, ctx):
+                yield tuple(fn(values) for fn in compiled)
+
+        job = Job(name="select-scan", splits=relation.splits(),
+                  map_fn=map_fn, reduce_fn=None)
+        result = self.runner.run(job)
+        self.jobs.append(result)
+        return names, result.outputs
+
+    def _aggregate_stage(self, stmt, items, relation):
+        group_by = list(stmt.group_by)
+        agg_calls = []
+        rewritten_items = [rewrite_aggregates(item.expr, group_by, agg_calls)
+                           for item in items]
+        having_rewritten = (rewrite_aggregates(stmt.having, group_by,
+                                               agg_calls)
+                            if stmt.having is not None else None)
+        validate_no_nested_aggregates(agg_calls)
+
+        input_env = relation.env
+        key_fns = [compile_expr(e, input_env) for e in group_by]
+        specs = []
+        for call in agg_calls:
+            star = (not call.args) or isinstance(call.args[0], ast.Star)
+            arg_fn = None
+            if not star:
+                arg_fn = compile_expr(call.args[0], input_env)
+            elif call.name != "count":
+                raise AnalysisError("%s(*) is not supported" % call.name)
+            specs.append(AggregateSpec(call.name, arg_fn,
+                                       distinct=call.distinct,
+                                       count_star=star))
+        reader = relation.make_reader()
+
+        def map_fn(split, ctx):
+            # Hash aggregation in the mapper (Hive map-side aggregation).
+            table = {}
+            for values in reader(split, ctx):
+                key = tuple(fn(values) for fn in key_fns)
+                accs = table.get(key)
+                if accs is None:
+                    accs = [spec.init() for spec in specs]
+                    table[key] = accs
+                for i, spec in enumerate(specs):
+                    accs[i] = spec.add(accs[i], values)
+            for key, accs in table.items():
+                yield key, accs
+
+        def reduce_fn(key, acc_lists, ctx):
+            merged = None
+            for accs in acc_lists:
+                if merged is None:
+                    merged = list(accs)
+                else:
+                    merged = [spec.merge(m, a)
+                              for spec, m, a in zip(specs, merged, accs)]
+            finals = [spec.finalize(m) for spec, m in zip(specs, merged)]
+            yield tuple(key) + tuple(finals)
+
+        job = Job(name="groupby", splits=relation.splits(), map_fn=map_fn,
+                  reduce_fn=reduce_fn,
+                  num_reducers=self.cluster.profile.total_reduce_slots)
+        result = self.runner.run(job)
+        self.jobs.append(result)
+        if not group_by and not result.outputs:
+            # SQL: a global aggregate over zero rows yields one row
+            # (COUNT = 0, SUM/MIN/MAX/AVG = NULL).
+            result.outputs = [tuple(spec.finalize(spec.init())
+                                    for spec in specs)]
+
+        post_env = Env()
+        post_env.width = len(group_by) + len(specs)
+        compiled = [compile_expr(e, post_env) for e in rewritten_items]
+        having_fn = (compile_expr(having_rewritten, post_env)
+                     if having_rewritten is not None else None)
+        names = [_output_name(item, i) for i, item in enumerate(items)]
+        rows = []
+        for raw in result.outputs:
+            if having_fn is not None and not is_true(having_fn(raw)):
+                continue
+            rows.append(tuple(fn(raw) for fn in compiled))
+        self.cluster.charge_cpu_rows(len(result.outputs))
+        return names, rows
+
+    def _order_and_limit(self, stmt, names, rows):
+        if stmt.order_by:
+            env = Env()
+            env.add_schema(names)
+            key_fns = []
+            for order in stmt.order_by:
+                try:
+                    fn = compile_expr(order.expr, env)
+                except AnalysisError:
+                    fn = None       # unresolvable: stable no-op key
+                key_fns.append((fn, order.descending))
+
+            def sort_key(row):
+                return tuple(_NullsLast(fn(row) if fn else None, desc)
+                             for fn, desc in key_fns)
+
+            rows = sorted(rows, key=sort_key)
+            self.cluster.charge_cpu_rows(len(rows))
+        if stmt.limit is not None:
+            rows = rows[:stmt.limit]
+        return rows
+
+    def _constant_select(self, stmt):
+        env = Env()
+        compiled = [compile_expr(item.expr, env) for item in stmt.items]
+        names = [_output_name(item, i) for i, item in enumerate(stmt.items)]
+        row = tuple(fn(()) for fn in compiled)
+        return QueryResultRows(names, [row])
+
+
+# ----------------------------------------------------------------------
+# Helpers.
+# ----------------------------------------------------------------------
+class _NullsLast:
+    """Sort wrapper: NULLs last, optional descending."""
+
+    __slots__ = ("value", "desc")
+
+    def __init__(self, value, desc):
+        self.value = value
+        self.desc = desc
+
+    def __lt__(self, other):
+        a, b = self.value, other.value
+        if a is None:
+            return False
+        if b is None:
+            return True
+        try:
+            if self.desc:
+                return b < a
+            return a < b
+        except TypeError:
+            if self.desc:
+                return repr(b) < repr(a)
+            return repr(a) < repr(b)
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+def _output_name(item, index):
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.name
+    if isinstance(item.expr, ast.FuncCall):
+        return "%s_%d" % (item.expr.name, index)
+    return "_c%d" % index
+
+
+def _resolvable(column_ref, env):
+    try:
+        env.resolve(column_ref)
+        return True
+    except AnalysisError:
+        return False
+
+
+def _and(conjuncts):
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return ast.LogicalOp(op="and", operands=list(conjuncts))
+
+
+def _iter_conjuncts(expr):
+    if isinstance(expr, ast.LogicalOp) and expr.op == "and":
+        for operand in expr.operands:
+            yield from _iter_conjuncts(operand)
+    else:
+        yield expr

@@ -1,0 +1,134 @@
+"""Tokenizer for the HiveQL dialect.
+
+Produces a flat token stream of keywords, identifiers, literals, operators
+and punctuation.  Keywords are case-insensitive; identifiers preserve case
+but compare case-insensitively downstream.
+"""
+
+from repro.common.errors import ParseError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "insert", "into", "overwrite", "table", "values", "update", "set",
+    "delete", "create", "drop", "if", "exists", "not", "and", "or",
+    "join", "inner", "left", "right", "full", "outer", "on", "as",
+    "between", "in", "like", "is", "null", "true", "false", "asc", "desc",
+    "stored", "tblproperties", "distinct", "case", "when", "then", "else",
+    "end", "compact", "show", "tables", "describe", "union", "all",
+    "merge", "using", "matched", "explain", "partitioned",
+    "partition", "partitions", "alter", "view",
+}
+
+OPERATORS = ("<=", ">=", "<>", "!=", "==", "=", "<", ">", "+", "-", "*",
+             "/", "%", "||")
+
+PUNCTUATION = ("(", ")", ",", ".", ";")
+
+
+class Token:
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind, value, pos):
+        self.kind = kind     # 'kw', 'ident', 'number', 'string', 'op', 'punct', 'eof'
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def tokenize(text):
+    tokens = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--":
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "/" and text[i:i + 2] == "/*":
+            end = text.find("*/", i)
+            if end < 0:
+                raise ParseError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'" or ch == '"':
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n:
+                if text[j] == quote:
+                    if text[j:j + 2] == quote * 2:   # escaped quote
+                        buf.append(quote)
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            else:
+                raise ParseError("unterminated string literal", i)
+            tokens.append(Token("string", "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            literal = text[i:j]
+            value = float(literal) if (seen_dot or seen_exp) else int(literal)
+            tokens.append(Token("number", value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_" or ch == "`":
+            if ch == "`":
+                end = text.find("`", i + 1)
+                if end < 0:
+                    raise ParseError("unterminated backtick identifier", i)
+                tokens.append(Token("ident", text[i + 1:end], i))
+                i = end + 1
+                continue
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lower = word.lower()
+            if lower in KEYWORDS:
+                tokens.append(Token("kw", lower, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        matched = False
+        normalize = {"<>": "!=", "==": "="}
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", normalize.get(op, op), i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        raise ParseError("unexpected character %r" % ch, i)
+    tokens.append(Token("eof", None, n))
+    return tokens

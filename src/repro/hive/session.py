@@ -1,0 +1,546 @@
+"""HiveSession: the public SQL entry point.
+
+A session owns one simulated cluster plus HDFS, HBase, the MapReduce
+runner and the metastore, and executes HiveQL statements end-to-end.
+
+UPDATE/DELETE dispatch (the heart of the paper):
+
+* plain ORC tables  → lowered to a full INSERT OVERWRITE (Listing 2):
+  read *every column of every row*, rewrite the whole table;
+* HBase tables      → in-place random writes during the scan;
+* DualTable / ACID  → delegated to the handler's ``execute_update`` /
+  ``execute_delete`` (cost-model plan choice for DualTable, delta files
+  for ACID).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cluster import Cluster, ClusterProfile
+from repro.common.errors import AnalysisError, HiveError
+from repro.hdfs import HdfsFileSystem
+from repro.hbase import HBaseService
+from repro.mapreduce import Job, JobRunner
+from repro.hive import ast_nodes as ast
+from repro.hive.catalog import HiveEnv, Metastore, register_handler
+from repro.hive.executor import SelectExecutor, _output_name
+from repro.hive.expressions import Env, compile_expr, is_true
+from repro.hive.parser import parse
+from repro.hive.pushdown import extract_ranges
+from repro.hive.storage.hbase_handler import HBaseTableHandler
+from repro.hive.storage.orc_handler import OrcHdfsHandler
+from repro.hive.storage.partitioned_orc import PartitionedOrcHandler
+
+register_handler("orc", OrcHdfsHandler)
+register_handler("orc-partitioned", PartitionedOrcHandler)
+register_handler("hbase", HBaseTableHandler)
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the simulated cost of one statement."""
+
+    names: list = field(default_factory=list)
+    rows: list = field(default_factory=list)
+    sim_seconds: float = 0.0
+    jobs: list = field(default_factory=list)
+    plan: str = ""
+    affected: int = None
+    detail: dict = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self):
+        if not self.rows or not self.rows[0]:
+            return None
+        return self.rows[0][0]
+
+
+class HiveSession:
+    """One connection to the simulated warehouse."""
+
+    def __init__(self, cluster=None, profile=None):
+        self.cluster = cluster or Cluster(profile or ClusterProfile.laptop())
+        self.fs = HdfsFileSystem(self.cluster)
+        self.hbase = HBaseService(self.cluster)
+        self.runner = JobRunner(self.cluster)
+        self.env = HiveEnv(self.cluster, self.fs, self.hbase, self.runner)
+        self.metastore = Metastore(self.env)
+        self.views = {}
+        self._dml_subquery_jobs = []
+        self._ensure_extended_handlers()
+
+    @staticmethod
+    def _ensure_extended_handlers():
+        # DualTable and ACID register themselves on import; importing here
+        # keeps `HiveSession` self-contained for users.
+        from repro.core import handler as _dualtable_handler  # noqa: F401
+        from repro.acid import handler as _acid_handler       # noqa: F401
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def execute(self, sql):
+        """Parse and execute one HiveQL statement."""
+        stmt = parse(sql) if isinstance(sql, str) else sql
+        return self.execute_statement(stmt)
+
+    sql = execute
+
+    def execute_statement(self, stmt):
+        if isinstance(stmt, (ast.SelectStmt, ast.UnionAllStmt)):
+            return self._select(stmt)
+        if isinstance(stmt, ast.InsertStmt):
+            return self._insert(stmt)
+        if isinstance(stmt, ast.UpdateStmt):
+            return self._update(stmt)
+        if isinstance(stmt, ast.DeleteStmt):
+            return self._delete(stmt)
+        if isinstance(stmt, ast.MergeStmt):
+            from repro.hive.merge import execute_merge
+            self._dml_subquery_jobs = []
+            return execute_merge(self, stmt)
+        if isinstance(stmt, ast.ExplainStmt):
+            from repro.hive.explain import explain
+            return explain(self, stmt.statement)
+        if isinstance(stmt, ast.CreateTableStmt):
+            return self._create_table(stmt)
+        if isinstance(stmt, ast.CreateViewStmt):
+            key = stmt.name.lower()
+            if key in self.views or self.metastore.has_table(key):
+                if stmt.if_not_exists:
+                    return QueryResult(plan="create-view")
+                raise AnalysisError("name already in use: %s" % stmt.name)
+            self.views[key] = stmt.query
+            return QueryResult(plan="create-view")
+        if isinstance(stmt, ast.AlterDropPartitionStmt):
+            return self._drop_partition(stmt)
+        if isinstance(stmt, ast.DropTableStmt):
+            if stmt.table.lower() in self.views:
+                del self.views[stmt.table.lower()]
+                return QueryResult(plan="drop-view")
+            self.metastore.drop_table(stmt.table, if_exists=stmt.if_exists)
+            return QueryResult(plan="drop")
+        if isinstance(stmt, ast.CompactStmt):
+            return self._compact(stmt)
+        if isinstance(stmt, ast.ShowPartitionsStmt):
+            info = self.metastore.table(stmt.table)
+            handler = info.handler
+            if not hasattr(handler, "partitions"):
+                raise AnalysisError(
+                    "table %s is not partitioned" % stmt.table)
+            rows = [("/".join("%s=%s" % (c, v) for c, v in
+                              zip(handler.partition_columns, key)),)
+                    for key, _ in handler.partitions()]
+            return QueryResult(names=["partition"], rows=rows,
+                               plan="show-partitions")
+        if isinstance(stmt, ast.ShowTablesStmt):
+            rows = [(t,) for t in self.metastore.list_tables()]
+            rows += [(v,) for v in sorted(self.views)]
+            return QueryResult(names=["table_name"], rows=sorted(rows),
+                               plan="show")
+        if isinstance(stmt, ast.DescribeStmt):
+            info = self.metastore.table(stmt.table)
+            rows = [(c.name, c.htype.value) for c in info.schema]
+            rows.append(("# storage", info.storage))
+            return QueryResult(names=["col_name", "data_type"], rows=rows,
+                               plan="describe")
+        raise HiveError("unsupported statement: %r" % (stmt,))
+
+    def _create_table(self, stmt):
+        storage = stmt.storage
+        columns = list(stmt.columns)
+        properties = dict(stmt.properties)
+        if stmt.partition_columns:
+            if storage != "orc":
+                raise AnalysisError(
+                    "PARTITIONED BY is supported for ORC tables only "
+                    "(got STORED AS %s)" % storage.upper())
+            storage = "orc-partitioned"
+            columns = columns + list(stmt.partition_columns)
+            properties["partition.columns"] = ",".join(
+                name for name, _ in stmt.partition_columns)
+        self.metastore.create_table(stmt.table, columns, storage=storage,
+                                    properties=properties,
+                                    if_not_exists=stmt.if_not_exists)
+        return QueryResult(plan="create")
+
+    def _drop_partition(self, stmt):
+        info = self.metastore.table(stmt.table)
+        handler = info.handler
+        if not hasattr(handler, "drop_partition"):
+            raise AnalysisError("table %s is not partitioned" % stmt.table)
+        missing = [c for c in handler.partition_columns
+                   if c not in stmt.spec]
+        if missing:
+            raise AnalysisError(
+                "DROP PARTITION needs values for: %s" % ", ".join(missing))
+        coercers = {"int": int, "double": float, "string": str,
+                    "boolean": bool}
+        offset = len(info.schema) - len(handler.partition_columns)
+        values = []
+        for i, name in enumerate(handler.partition_columns):
+            column = info.schema.columns[offset + i]
+            raw = stmt.spec[name]
+            values.append(None if raw is None
+                          else coercers[column.physical_kind](raw))
+        dropped = handler.drop_partition(tuple(values))
+        return QueryResult(plan="drop-partition",
+                           affected=1 if dropped else 0,
+                           detail={"partition": dict(stmt.spec),
+                                   "existed": dropped})
+
+    def load_rows(self, table_name, rows):
+        """LOAD-equivalent: bulk append python rows into a table."""
+        info = self.metastore.table(table_name)
+        coerced = [info.schema.coerce_row(r) for r in rows]
+        seconds = self._charged_parallel(
+            lambda: info.handler.insert_rows(coerced, overwrite=False))
+        return QueryResult(plan="load", affected=len(coerced),
+                           sim_seconds=seconds)
+
+    def table(self, name):
+        return self.metastore.table(name)
+
+    def io_report(self):
+        """Structured ledger summary: per-(subsystem, op) totals.
+
+        Returns ``{(subsystem, op): {"bytes": ..., "ops": ...,
+        "sim_seconds": ...}}`` plus a ``"total_seconds"`` entry — handy
+        for examples, notebooks and regression assertions.
+        """
+        ledger = self.cluster.ledger
+        report = {
+            key: {"bytes": ledger.bytes_by_key[key],
+                  "ops": ledger.ops_by_key[key],
+                  "sim_seconds": ledger.seconds_by_key[key]}
+            for key in ledger.bytes_by_key
+        }
+        report["total_seconds"] = ledger.total_seconds
+        return report
+
+    # ------------------------------------------------------------------
+    # SELECT.
+    # ------------------------------------------------------------------
+    def _select(self, stmt):
+        executor = SelectExecutor(self)
+        result = executor.run(stmt)
+        sim = sum(job.sim_seconds for job in executor.jobs)
+        return QueryResult(names=result.names, rows=result.rows,
+                           sim_seconds=sim, jobs=executor.jobs,
+                           plan="select(%d jobs)" % len(executor.jobs))
+
+    def view_query(self, name):
+        """The stored query of a view, or None."""
+        return self.views.get(name.lower())
+
+    def infer_select_names(self, stmt):
+        """Output column names of a SELECT without executing it."""
+        if isinstance(stmt, ast.UnionAllStmt):
+            return self.infer_select_names(stmt.selects[0])
+        names = []
+        for i, item in enumerate(stmt.items):
+            if isinstance(item.expr, ast.Star):
+                refs = [stmt.source] + [j.table for j in stmt.joins]
+                for ref in refs:
+                    qualifier = item.expr.qualifier
+                    if qualifier and ref.binding.lower() != qualifier.lower():
+                        continue
+                    if ref.subquery is not None:
+                        names.extend(self.infer_select_names(ref.subquery))
+                    elif self.view_query(ref.name) is not None:
+                        names.extend(self.infer_select_names(
+                            self.view_query(ref.name)))
+                    else:
+                        names.extend(
+                            self.metastore.table(ref.name).schema.names)
+            else:
+                names.append(_output_name(item, i))
+        return names
+
+    # ------------------------------------------------------------------
+    # INSERT.
+    # ------------------------------------------------------------------
+    def _insert(self, stmt):
+        info = self.metastore.table(stmt.table)
+        if stmt.partition_spec:
+            handler = info.handler
+            if not hasattr(handler, "partition_columns"):
+                raise AnalysisError(
+                    "PARTITION (...) insert on unpartitioned table %s"
+                    % stmt.table)
+            missing = [c for c in handler.partition_columns
+                       if c not in stmt.partition_spec]
+            if missing:
+                raise AnalysisError(
+                    "PARTITION spec needs values for: %s"
+                    % ", ".join(missing))
+        jobs = []
+        if stmt.values is not None:
+            env = Env()
+            rows = [tuple(compile_expr(e, env)(()) for e in row)
+                    for row in stmt.values]
+            select_seconds = 0.0
+        else:
+            executor = SelectExecutor(self)
+            result = executor.run(stmt.query)
+            rows = result.rows
+            jobs = executor.jobs
+            select_seconds = sum(job.sim_seconds for job in jobs)
+        if stmt.partition_spec:
+            suffix = tuple(stmt.partition_spec[c]
+                           for c in info.handler.partition_columns)
+            rows = [tuple(r) + suffix for r in rows]
+        coerced = [info.schema.coerce_row(r) for r in rows]
+        write_seconds = self._charged_parallel(
+            lambda: info.handler.insert_rows(coerced,
+                                             overwrite=stmt.overwrite))
+        return QueryResult(sim_seconds=select_seconds + write_seconds,
+                           jobs=jobs, affected=len(coerced),
+                           plan="insert-%s"
+                                % ("overwrite" if stmt.overwrite else "into"))
+
+    # ------------------------------------------------------------------
+    # UPDATE / DELETE dispatch.
+    # ------------------------------------------------------------------
+    def _update(self, stmt):
+        info = self.metastore.table(stmt.table)
+        stmt = self._resolve_dml_subqueries(stmt)
+        handler = info.handler
+        if hasattr(handler, "execute_update"):
+            return handler.execute_update(self, stmt)
+        if handler.supports_inplace_mutation:
+            return self._update_hbase(info, stmt)
+        return self.update_via_overwrite(info, stmt)
+
+    def _delete(self, stmt):
+        info = self.metastore.table(stmt.table)
+        stmt = self._resolve_dml_subqueries(stmt)
+        handler = info.handler
+        if hasattr(handler, "execute_delete"):
+            return handler.execute_delete(self, stmt)
+        if handler.supports_inplace_mutation:
+            return self._delete_hbase(info, stmt)
+        return self.delete_via_overwrite(info, stmt)
+
+    def _resolve_dml_subqueries(self, stmt):
+        """Materialize scalar/IN subqueries in SET and WHERE clauses."""
+        executor = SelectExecutor(self)
+        self._dml_subquery_jobs = []
+        def rewrite(expr):
+            if expr is None:
+                return None
+            rewritten = executor._rewrite_expr_subqueries(expr)
+            return rewritten
+        if isinstance(stmt, ast.UpdateStmt):
+            stmt.assignments = [(name, rewrite(e))
+                                for name, e in stmt.assignments]
+        stmt.where = rewrite(stmt.where)
+        self._dml_subquery_jobs = executor.jobs
+        return stmt
+
+    def _dml_env(self, info, alias):
+        env = Env()
+        env.add_schema(info.schema.names, alias=alias)
+        return env
+
+    # -- Hive(HDFS) baseline: full INSERT OVERWRITE --------------------
+    def _overwrite_scope(self, handler, where):
+        """(scan_ranges, affected_partitions) for an overwrite rewrite.
+
+        Plain tables rewrite everything (no pruning possible: every row
+        must be written back).  Partitioned tables rewrite only the
+        partitions the predicate can touch — Hive's partition-level
+        granularity — so partition-column constraints prune the scan.
+        """
+        if not hasattr(handler, "replace_partitions"):
+            return None, None
+        ranges = extract_ranges(where) if where is not None else {}
+        partition_ranges = {name: r for name, r in ranges.items()
+                            if name in handler.partition_columns}
+        return partition_ranges, handler.affected_partitions(
+            partition_ranges)
+
+    def update_via_overwrite(self, info, stmt, extra_detail=None):
+        """Listing-2 lowering: rewrite every row of the table."""
+        handler = info.handler
+        env = self._dml_env(info, stmt.alias)
+        predicate = (compile_expr(stmt.where, env)
+                     if stmt.where is not None else None)
+        assigns = [(info.schema.index_of(name), compile_expr(expr, env))
+                   for name, expr in stmt.assignments]
+        # INSERT OVERWRITE reads *all* columns; only partition-level
+        # pruning is possible (every surviving row must be rewritten).
+        scan_ranges, affected = self._overwrite_scope(handler, stmt.where)
+        splits = handler.scan_splits(projection=None, ranges=scan_ranges)
+
+        def map_fn(split, ctx):
+            for values in handler.read_split(split, ctx):
+                if predicate is None or is_true(predicate(values)):
+                    ctx.incr("updated")
+                    row = list(values)
+                    for idx, fn in assigns:
+                        row[idx] = fn(values)
+                    yield tuple(row)
+                else:
+                    yield values
+
+        job = Job(name="update-overwrite", splits=splits, map_fn=map_fn,
+                  reduce_fn=None)
+        result = self.runner.run(job)
+        rows = [info.schema.coerce_row(r) for r in result.outputs]
+        if affected is not None:
+            write_seconds = self._charged_parallel(
+                lambda: handler.replace_partitions(rows, affected))
+        else:
+            write_seconds = self._charged_parallel(
+                lambda: handler.insert_rows(rows, overwrite=True))
+        jobs = self._dml_subquery_jobs + [result]
+        sub_seconds = sum(j.sim_seconds for j in self._dml_subquery_jobs)
+        detail = {"plan": "overwrite", "rows_written": len(rows)}
+        detail.update(extra_detail or {})
+        return QueryResult(
+            sim_seconds=sub_seconds + result.sim_seconds + write_seconds,
+            jobs=jobs, affected=result.counters.get("updated", 0),
+            plan="update-overwrite", detail=detail)
+
+    def delete_via_overwrite(self, info, stmt, extra_detail=None):
+        handler = info.handler
+        env = self._dml_env(info, stmt.alias)
+        predicate = (compile_expr(stmt.where, env)
+                     if stmt.where is not None else None)
+        scan_ranges, affected = self._overwrite_scope(handler, stmt.where)
+        splits = handler.scan_splits(projection=None, ranges=scan_ranges)
+
+        def map_fn(split, ctx):
+            for values in handler.read_split(split, ctx):
+                if predicate is None or is_true(predicate(values)):
+                    ctx.incr("deleted")
+                else:
+                    yield values
+
+        job = Job(name="delete-overwrite", splits=splits, map_fn=map_fn,
+                  reduce_fn=None)
+        result = self.runner.run(job)
+        rows = [info.schema.coerce_row(r) for r in result.outputs]
+        if affected is not None:
+            write_seconds = self._charged_parallel(
+                lambda: handler.replace_partitions(rows, affected))
+        else:
+            write_seconds = self._charged_parallel(
+                lambda: handler.insert_rows(rows, overwrite=True))
+        jobs = self._dml_subquery_jobs + [result]
+        sub_seconds = sum(j.sim_seconds for j in self._dml_subquery_jobs)
+        detail = {"plan": "overwrite", "rows_written": len(rows)}
+        detail.update(extra_detail or {})
+        return QueryResult(
+            sim_seconds=sub_seconds + result.sim_seconds + write_seconds,
+            jobs=jobs, affected=result.counters.get("deleted", 0),
+            plan="delete-overwrite", detail=detail)
+
+    # -- Hive(HBase) baseline: in-place random writes ------------------
+    def _update_hbase(self, info, stmt):
+        handler = info.handler
+        env = self._dml_env(info, stmt.alias)
+        predicate = (compile_expr(stmt.where, env)
+                     if stmt.where is not None else None)
+        assigns = [(info.schema.index_of(name), compile_expr(expr, env))
+                   for name, expr in stmt.assignments]
+        splits = handler.scan_splits(projection=None)
+
+        def map_fn(split, ctx):
+            inner = dict(split.payload)
+            matched = []
+            for rowkey, values in _hbase_rows_with_keys(handler, inner, ctx):
+                if predicate is None or is_true(predicate(values)):
+                    matched.append(
+                        (rowkey, {idx: fn(values) for idx, fn in assigns}))
+            for rowkey, new_values in matched:
+                ctx.incr("updated")
+                handler.update_row(rowkey, new_values)
+            return ()
+
+        job = Job(name="update-hbase", splits=splits, map_fn=map_fn,
+                  reduce_fn=None)
+        result = self.runner.run(job)
+        jobs = self._dml_subquery_jobs + [result]
+        sub_seconds = sum(j.sim_seconds for j in self._dml_subquery_jobs)
+        return QueryResult(sim_seconds=sub_seconds + result.sim_seconds,
+                           jobs=jobs,
+                           affected=result.counters.get("updated", 0),
+                           plan="update-hbase", detail={"plan": "hbase"})
+
+    def _delete_hbase(self, info, stmt):
+        handler = info.handler
+        env = self._dml_env(info, stmt.alias)
+        predicate = (compile_expr(stmt.where, env)
+                     if stmt.where is not None else None)
+        splits = handler.scan_splits(projection=None)
+
+        def map_fn(split, ctx):
+            inner = dict(split.payload)
+            doomed = []
+            for rowkey, values in _hbase_rows_with_keys(handler, inner, ctx):
+                if predicate is None or is_true(predicate(values)):
+                    doomed.append(rowkey)
+            for rowkey in doomed:
+                ctx.incr("deleted")
+                handler.delete_row(rowkey)
+            return ()
+
+        job = Job(name="delete-hbase", splits=splits, map_fn=map_fn,
+                  reduce_fn=None)
+        result = self.runner.run(job)
+        jobs = self._dml_subquery_jobs + [result]
+        sub_seconds = sum(j.sim_seconds for j in self._dml_subquery_jobs)
+        return QueryResult(sim_seconds=sub_seconds + result.sim_seconds,
+                           jobs=jobs,
+                           affected=result.counters.get("deleted", 0),
+                           plan="delete-hbase", detail={"plan": "hbase"})
+
+    # ------------------------------------------------------------------
+    # COMPACT.
+    # ------------------------------------------------------------------
+    def _compact(self, stmt):
+        info = self.metastore.table(stmt.table)
+        handler = info.handler
+        if hasattr(handler, "execute_compact"):
+            return handler.execute_compact(self, major=stmt.major)
+        if hasattr(handler, "_htable"):
+            seconds = self._charged_parallel(
+                lambda: handler._htable().compact(major=stmt.major))
+            return QueryResult(plan="compact-hbase", sim_seconds=seconds)
+        raise AnalysisError(
+            "table %s (storage %s) does not support COMPACT"
+            % (info.name, info.storage))
+
+    # ------------------------------------------------------------------
+    # Cost helpers.
+    # ------------------------------------------------------------------
+    def _charged_parallel(self, fn, slots=None):
+        """Run ``fn``, return its charged time divided over ``slots``.
+
+        Bulk writes issued by a statement (INSERT OVERWRITE output, HBase
+        truncate+reload...) happen inside parallel tasks on a real
+        cluster; per-slot charge divided by slot count yields the
+        aggregate-rate elapsed time.
+        """
+        slots = slots or self.cluster.profile.total_map_slots
+        with self.cluster.cost_scope("bulk") as scope:
+            fn()
+        # HBase charges are already at serialized aggregate rates; only
+        # the HDFS/CPU portion parallelizes over task slots.
+        return (scope.parallel_seconds / max(1, slots)
+                + scope.hbase_seconds)
+
+
+def _hbase_rows_with_keys(handler, payload, ctx):
+    """Scan one HBase split yielding (rowkey, full row tuple)."""
+    from repro.hive.storage.hbase_handler import _qualifier
+    from repro.hive.valuecodec import decode_value
+
+    quals = [_qualifier(i) for i in range(len(handler.schema))]
+    htable = handler._htable()
+    for rowkey, cells in htable.scan(payload["start"], payload["stop"]):
+        yield rowkey, tuple(
+            decode_value(cells[q]) if q in cells else None for q in quals)

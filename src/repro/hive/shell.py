@@ -1,0 +1,168 @@
+"""``dualtable-sql``: an interactive HiveQL shell over a simulated cluster.
+
+Example session::
+
+    $ dualtable-sql
+    hive> CREATE TABLE t (id int, v string) STORED AS DUALTABLE;
+    OK (0.00 simulated seconds)
+    hive> INSERT INTO t VALUES (1, 'a'), (2, 'b');
+    2 row(s) affected (0.00 simulated seconds)
+    hive> UPDATE t SET v = 'x' WHERE id = 1;
+    1 row(s) affected via plan 'edit' (...)
+    hive> SELECT * FROM t;
+    ...
+
+Shell commands: ``!tables``, ``!ledger``, ``!scale N``, ``!help``,
+``quit``/``exit``.
+"""
+
+import sys
+
+from repro.bench.runners import bench_profile
+from repro.common.errors import ReproError
+from repro.common.units import fmt_seconds
+from repro.hive.session import HiveSession
+from repro.bench.report import format_table
+
+PROMPT = "hive> "
+CONTINUATION = "   .> "
+
+HELP_TEXT = """\
+Statements end with ';'. Supported: CREATE TABLE ... [PARTITIONED BY
+(...)] STORED AS {ORC|HBASE|DUALTABLE|ACID}, CREATE VIEW, DROP, INSERT
+[PARTITION (...)], SELECT (joins/group by/subqueries/UNION ALL), UPDATE,
+DELETE, MERGE INTO, COMPACT, EXPLAIN, SHOW TABLES, SHOW PARTITIONS,
+DESCRIBE, ALTER TABLE ... DROP PARTITION.
+
+Shell commands:
+  !tables          list tables with storage kind and row counts
+  !ledger          simulated-I/O totals per subsystem
+  !scale N         set byte/op scale (emulate N-x larger data)
+  !help            this text
+  quit / exit      leave the shell
+"""
+
+
+class HiveShell:
+    """Line-oriented REPL around one HiveSession."""
+
+    def __init__(self, session=None, out=None):
+        self.session = session or HiveSession(profile=bench_profile("shell"))
+        self.out = out or sys.stdout
+
+    # ------------------------------------------------------------------
+    def _print(self, text=""):
+        self.out.write(text + "\n")
+
+    def handle_line(self, line):
+        """Process one complete input (statement or shell command).
+
+        Returns False when the shell should exit.
+        """
+        stripped = line.strip().rstrip(";").strip()
+        if not stripped:
+            return True
+        lowered = stripped.lower()
+        if lowered in ("quit", "exit"):
+            return False
+        if stripped.startswith("!"):
+            self._shell_command(stripped[1:])
+            return True
+        try:
+            result = self.session.execute(stripped)
+        except ReproError as exc:
+            self._print("ERROR: %s" % exc)
+            return True
+        self._render(result)
+        return True
+
+    def _render(self, result):
+        if result.rows:
+            self._print(format_table(result.names or ["value"],
+                                     result.rows[:100]))
+            if len(result.rows) > 100:
+                self._print("... (%d more rows)" % (len(result.rows) - 100))
+        timing = fmt_seconds(result.sim_seconds)
+        if result.affected is not None:
+            plan = result.detail.get("plan")
+            via = " via plan '%s'" % plan if plan else ""
+            self._print("%d row(s) affected%s (%s simulated)"
+                        % (result.affected, via, timing))
+        elif result.rows:
+            self._print("%d row(s) (%s simulated)"
+                        % (len(result.rows), timing))
+        else:
+            self._print("OK (%s simulated)" % timing)
+
+    # ------------------------------------------------------------------
+    def _shell_command(self, command):
+        parts = command.split()
+        name = parts[0].lower() if parts else ""
+        if name == "help":
+            self._print(HELP_TEXT)
+        elif name == "tables":
+            rows = []
+            for table in self.session.metastore.list_tables():
+                info = self.session.metastore.table(table)
+                rows.append((table, info.storage,
+                             info.handler.row_count()))
+            if rows:
+                self._print(format_table(["table", "storage", "~rows"],
+                                         rows))
+            else:
+                self._print("(no tables)")
+        elif name == "ledger":
+            ledger = self.session.cluster.ledger
+            rows = sorted(
+                (subsystem, op, nbytes,
+                 round(ledger.seconds_by_key[(subsystem, op)], 3))
+                for (subsystem, op), nbytes in ledger.bytes_by_key.items())
+            self._print(format_table(
+                ["subsystem", "op", "bytes", "sim_seconds"], rows))
+            self._print("total simulated seconds: %.2f"
+                        % ledger.total_seconds)
+        elif name == "scale" and len(parts) == 2:
+            factor = float(parts[1])
+            profile = self.session.cluster.profile
+            profile.byte_scale = factor
+            profile.op_scale = factor
+            self._print("byte_scale = op_scale = %g" % factor)
+        else:
+            self._print("unknown shell command; try !help")
+
+    # ------------------------------------------------------------------
+    def run(self, stdin=None):
+        stdin = stdin or sys.stdin
+        self._print("DualTable simulated warehouse. Type !help for help.")
+        buffer = []
+        interactive = stdin is sys.stdin and stdin.isatty()
+        while True:
+            prompt = PROMPT if not buffer else CONTINUATION
+            if interactive:
+                try:
+                    line = input(prompt)
+                except EOFError:
+                    break
+            else:
+                line = stdin.readline()
+                if not line:
+                    break
+                line = line.rstrip("\n")
+            buffer.append(line)
+            joined = " ".join(buffer).strip()
+            if joined.startswith("!") or joined.lower() in ("quit", "exit") \
+                    or joined.endswith(";") or not joined:
+                buffer = []
+                if not self.handle_line(joined):
+                    break
+        self._print("bye")
+
+
+def main(argv=None):
+    shell = HiveShell()
+    shell.run()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

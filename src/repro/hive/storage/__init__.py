@@ -1,0 +1,7 @@
+"""Storage handlers: the Hive InputFormat/OutputFormat/SerDe seam."""
+
+from repro.hive.storage.base import StorageHandler
+from repro.hive.storage.hbase_handler import HBaseTableHandler
+from repro.hive.storage.orc_handler import OrcHdfsHandler
+
+__all__ = ["StorageHandler", "HBaseTableHandler", "OrcHdfsHandler"]

@@ -1,0 +1,5 @@
+"""Simulated B-tree row store: the MySQL-style Attached-Table backend."""
+
+from repro.kvstore.btree import BTreeTable
+
+__all__ = ["BTreeTable"]

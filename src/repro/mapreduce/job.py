@@ -1,0 +1,86 @@
+"""Job/task model for the simulated MapReduce engine."""
+
+import zlib
+from dataclasses import dataclass, field
+
+
+@dataclass
+class InputSplit:
+    """One unit of map-side work.
+
+    ``payload`` is whatever the InputFormat wants to hand its mapper (a
+    file path, an ORC stripe range, an HBase key range...).  ``size_bytes``
+    is the scheduler's locality/size hint.
+    """
+
+    payload: object
+    size_bytes: int = 0
+    label: str = ""
+
+
+class TaskContext:
+    """Passed to every map/reduce function: counters + cluster access."""
+
+    def __init__(self, cluster, task_type, task_index):
+        self.cluster = cluster
+        self.task_type = task_type
+        self.task_index = task_index
+        self.counters = {}
+
+    def incr(self, counter, amount=1):
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+
+@dataclass
+class Job:
+    """A MapReduce job specification.
+
+    * ``map_fn(split, ctx)`` yields ``(key, value)`` pairs when the job has
+      a reducer, or arbitrary output records for map-only jobs.
+    * ``reduce_fn(key, values, ctx)`` yields output records.
+    * ``combiner_fn`` (optional) has reduce semantics and runs per map task.
+    """
+
+    name: str
+    splits: list
+    map_fn: object
+    reduce_fn: object = None
+    combiner_fn: object = None
+    num_reducers: int = 1
+    properties: dict = field(default_factory=dict)
+
+    @property
+    def is_map_only(self):
+        return self.reduce_fn is None
+
+
+@dataclass
+class JobResult:
+    """Outputs plus the simulated cost breakdown of one job run."""
+
+    name: str
+    outputs: list
+    sim_seconds: float
+    map_seconds: float
+    shuffle_seconds: float
+    reduce_seconds: float
+    num_map_tasks: int
+    num_reduce_tasks: int
+    shuffle_bytes: int
+    counters: dict
+
+
+def stable_hash(key):
+    """Deterministic partitioning hash (repr-based, seed-independent)."""
+    return zlib.crc32(repr(key).encode("utf-8", "backslashreplace"))
+
+
+def estimate_record_bytes(records):
+    """Cheap serialized-size estimate: sample-pickle up to 64 records."""
+    import pickle
+
+    if not records:
+        return 0
+    sample = records[:64]
+    sampled = sum(len(pickle.dumps(r, protocol=4)) for r in sample)
+    return int(sampled / len(sample) * len(records))

@@ -1,0 +1,148 @@
+"""Deterministic MapReduce execution with a makespan-based time model.
+
+Every task runs for real (Python functions over real data) inside a cost
+scope, so its simulated duration is the sum of the I/O it charged plus CPU
+row costs and a fixed task overhead.  The job's simulated run time is the
+*makespan* of greedily list-scheduling those task durations onto the
+cluster's map and reduce slots — the same "waves of tasks over slots"
+shape real Hadoop exhibits — plus the job startup cost.
+"""
+
+import heapq
+from collections import defaultdict
+
+from repro.common.errors import TaskFailedError
+from repro.mapreduce.job import (JobResult, TaskContext,
+                                 estimate_record_bytes, stable_hash)
+
+
+def _makespan(durations, slots):
+    """Greedy list-scheduling makespan of ``durations`` over ``slots``."""
+    if not durations:
+        return 0.0
+    slots = max(1, slots)
+    heap = [0.0] * min(slots, len(durations))
+    heapq.heapify(heap)
+    for duration in durations:
+        start = heapq.heappop(heap)
+        heapq.heappush(heap, start + duration)
+    return max(heap)
+
+
+class JobRunner:
+    """Runs jobs against one simulated cluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.history = []
+
+    def run(self, job):
+        profile = self.cluster.profile
+        counters = defaultdict(int)
+        with self.cluster.cost_scope("job:%s" % job.name) as job_scope:
+            self.cluster.charge_fixed("mapreduce", "job_startup",
+                                      profile.job_startup_s)
+            map_durations, map_outputs = self._run_maps(job, counters)
+            if job.is_map_only:
+                outputs = [record for _, records in map_outputs
+                           for record in records]
+                shuffle_seconds = 0.0
+                shuffle_bytes = 0
+                reduce_durations = []
+            else:
+                (shuffle_seconds, shuffle_bytes, reduce_durations,
+                 outputs) = self._run_reduces(job, map_outputs, counters)
+
+        map_seconds = _makespan(map_durations, profile.total_map_slots)
+        reduce_seconds = _makespan(reduce_durations,
+                                   profile.total_reduce_slots)
+        # HBase region servers are a shared resource: the job pays its
+        # total HBase time serially, on top of the parallel task phases.
+        sim_seconds = (profile.job_startup_s + map_seconds
+                       + shuffle_seconds + reduce_seconds
+                       + job_scope.hbase_seconds)
+        result = JobResult(
+            name=job.name,
+            outputs=outputs,
+            sim_seconds=sim_seconds,
+            map_seconds=map_seconds,
+            shuffle_seconds=shuffle_seconds,
+            reduce_seconds=reduce_seconds,
+            num_map_tasks=len(map_durations),
+            num_reduce_tasks=len(reduce_durations),
+            shuffle_bytes=shuffle_bytes,
+            counters=dict(counters),
+        )
+        self.history.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_maps(self, job, counters):
+        durations = []
+        outputs = []
+        for index, split in enumerate(job.splits):
+            ctx = TaskContext(self.cluster, "map", index)
+            with self.cluster.cost_scope("map-%d" % index) as scope:
+                try:
+                    records = list(job.map_fn(split, ctx))
+                except Exception as exc:
+                    raise TaskFailedError(
+                        "map task %d of %s failed: %s"
+                        % (index, job.name, exc)) from exc
+                self.cluster.charge_cpu_rows(len(records))
+                if job.combiner_fn is not None and not job.is_map_only:
+                    records = self._combine(job, records, ctx)
+            durations.append(scope.parallel_seconds
+                             + self.cluster.profile.task_overhead_s)
+            outputs.append((index, records))
+            for key, val in ctx.counters.items():
+                counters[key] += val
+        return durations, outputs
+
+    def _combine(self, job, records, ctx):
+        grouped = defaultdict(list)
+        for key, value in records:
+            grouped[key].append(value)
+        combined = []
+        for key in grouped:
+            combined.extend(job.combiner_fn(key, grouped[key], ctx))
+        return combined
+
+    # ------------------------------------------------------------------
+    def _run_reduces(self, job, map_outputs, counters):
+        num_reducers = max(1, job.num_reducers)
+        partitions = [defaultdict(list) for _ in range(num_reducers)]
+        shuffle_records = 0
+        for _, records in map_outputs:
+            shuffle_records += len(records)
+            for key, value in records:
+                partitions[stable_hash(key) % num_reducers][key].append(value)
+        all_records = [r for _, records in map_outputs for r in records]
+        shuffle_bytes = estimate_record_bytes(all_records)
+        charge = self.cluster.charge_shuffle(shuffle_bytes)
+        self.cluster.charge_cpu_rows(shuffle_records)  # sort cost
+        shuffle_seconds = charge.seconds
+
+        durations = []
+        outputs = []
+        for index, partition in enumerate(partitions):
+            if not partition and num_reducers > 1:
+                continue
+            ctx = TaskContext(self.cluster, "reduce", index)
+            with self.cluster.cost_scope("reduce-%d" % index) as scope:
+                task_out = []
+                for key in sorted(partition, key=repr):
+                    try:
+                        task_out.extend(
+                            job.reduce_fn(key, partition[key], ctx))
+                    except Exception as exc:
+                        raise TaskFailedError(
+                            "reduce task %d of %s failed at key %r: %s"
+                            % (index, job.name, key, exc)) from exc
+                self.cluster.charge_cpu_rows(len(task_out))
+            durations.append(scope.parallel_seconds
+                             + self.cluster.profile.task_overhead_s)
+            outputs.extend(task_out)
+            for key, val in ctx.counters.items():
+                counters[key] += val
+        return shuffle_seconds, shuffle_bytes, durations, outputs

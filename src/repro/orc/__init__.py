@@ -1,0 +1,12 @@
+"""ORC-like columnar file format: stripes, stats, projection, pruning."""
+
+from repro.orc.reader import OrcReader, StripeInfo
+from repro.orc.writer import DEFAULT_STRIPE_ROWS, OrcWriter, write_orc
+
+__all__ = [
+    "OrcReader",
+    "StripeInfo",
+    "OrcWriter",
+    "write_orc",
+    "DEFAULT_STRIPE_ROWS",
+]

@@ -1,0 +1,153 @@
+"""ORC-like file reader: projection, stripe pruning, row numbers.
+
+The reader exposes the three ORC properties DualTable relies on:
+
+* **column projection** — only the byte streams of requested columns are
+  decoded *and charged* to the cluster ledger;
+* **stripe pruning** — a caller-supplied predicate over per-stripe column
+  statistics skips whole stripes without touching their bytes;
+* **row numbers** — every row comes back with its ordinal position in the
+  file, which costs nothing to store and is the second half of the
+  DualTable record ID.
+"""
+
+import json
+import struct
+
+from repro.common.errors import CorruptOrcFileError
+from repro.orc.encodings import DECODERS
+from repro.orc.writer import MAGIC
+
+
+class StripeInfo:
+    """Directory entry for one stripe (offsets, row count, stats)."""
+
+    __slots__ = ("index", "offset", "length", "num_rows", "columns",
+                 "first_row")
+
+    def __init__(self, index, raw, first_row):
+        self.index = index
+        self.offset = raw["offset"]
+        self.length = raw["length"]
+        self.num_rows = raw["num_rows"]
+        self.columns = raw["columns"]
+        self.first_row = first_row
+
+    def stats(self, column_index):
+        return self.columns[column_index]["stats"]
+
+
+class OrcReader:
+    """Reads an ORC-like file previously produced by :class:`OrcWriter`.
+
+    ``source`` may be raw bytes, or a ``(filesystem, path)`` pair in which
+    case partial reads are charged to the filesystem's cluster ledger.
+    """
+
+    def __init__(self, source, path=None):
+        if path is not None:
+            self._fs = source
+            self._path = path
+            self._data = source.read_file_silent(path)
+        else:
+            self._fs = None
+            self._path = None
+            self._data = source
+        self._parse_footer()
+
+    def _parse_footer(self):
+        data = self._data
+        tail = len(MAGIC) + 8
+        if len(data) < tail or data[-len(MAGIC):] != MAGIC:
+            raise CorruptOrcFileError("bad magic in %r" % (self._path,))
+        (footer_len,) = struct.unpack("<Q", data[-tail:-len(MAGIC)])
+        footer_start = len(data) - tail - footer_len
+        if footer_start < 0:
+            raise CorruptOrcFileError("footer overruns file")
+        try:
+            footer = json.loads(data[footer_start:footer_start + footer_len])
+        except ValueError as exc:
+            raise CorruptOrcFileError("unparseable footer: %s" % exc) from exc
+        self.schema = [tuple(col) for col in footer["schema"]]
+        self.num_rows = footer["num_rows"]
+        self.metadata = footer["metadata"]
+        self.column_stats = footer["column_stats"]
+        self._column_index = {name: i for i, (name, _) in enumerate(self.schema)}
+        self.stripes = []
+        first_row = 0
+        for i, raw in enumerate(footer["stripes"]):
+            stripe = StripeInfo(i, raw, first_row)
+            first_row += stripe.num_rows
+            self.stripes.append(stripe)
+        self._footer_bytes = footer_len + tail
+        self._charge(self._footer_bytes)
+
+    def _charge(self, nbytes):
+        if self._fs is not None and nbytes:
+            self._fs.charge_read(nbytes)
+
+    def column_index(self, name):
+        try:
+            return self._column_index[name]
+        except KeyError:
+            raise CorruptOrcFileError(
+                "no column %r in %r" % (name, [n for n, _ in self.schema])
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Row iteration.
+    # ------------------------------------------------------------------
+    def rows(self, projection=None, stripe_filter=None):
+        """Yield ``(row_number, values_tuple)`` pairs.
+
+        ``projection`` is a list of column names; the returned tuples hold
+        those columns in that order (all columns in schema order when
+        omitted).  ``stripe_filter`` is called with each
+        :class:`StripeInfo` and may return False to skip the stripe.
+        """
+        if projection is None:
+            indices = list(range(len(self.schema)))
+        else:
+            indices = [self.column_index(name) for name in projection]
+        for stripe in self.stripes:
+            if stripe_filter is not None and not stripe_filter(stripe):
+                continue
+            columns = self._decode_stripe_columns(stripe, indices)
+            for offset in range(stripe.num_rows):
+                yield (stripe.first_row + offset,
+                       tuple(col[offset] for col in columns))
+
+    def read_all(self, projection=None, stripe_filter=None):
+        """Materialize :meth:`rows` into a list."""
+        return list(self.rows(projection=projection, stripe_filter=stripe_filter))
+
+    def _decode_stripe_columns(self, stripe, indices):
+        out = []
+        for idx in indices:
+            meta = stripe.columns[idx]
+            start, length = meta["offset"], meta["length"]
+            stream = self._data[start:start + length]
+            self._charge(length)
+            kind = self.schema[idx][1]
+            out.append(DECODERS[kind](stream))
+        return out
+
+    # ------------------------------------------------------------------
+    # Size accounting helpers (used by cost estimation).
+    # ------------------------------------------------------------------
+    def projected_bytes(self, projection=None, stripe_filter=None):
+        """Bytes that :meth:`rows` would charge for this access pattern."""
+        if projection is None:
+            indices = list(range(len(self.schema)))
+        else:
+            indices = [self.column_index(name) for name in projection]
+        total = 0
+        for stripe in self.stripes:
+            if stripe_filter is not None and not stripe_filter(stripe):
+                continue
+            total += sum(stripe.columns[i]["length"] for i in indices)
+        return total
+
+    @property
+    def file_bytes(self):
+        return len(self._data)

@@ -1,0 +1,159 @@
+"""ORC-like file writer: stripes, per-column streams, statistics, metadata.
+
+File layout (all offsets absolute):
+
+.. code-block:: text
+
+    [stripe 0 streams][stripe 1 streams]...[footer JSON][footer_len u64][MAGIC]
+
+The footer records the schema, user metadata (DualTable stores its file ID
+here), and per-stripe directory entries: row count plus, for each column,
+the stream's (offset, length, statistics).  Statistics carry count, null
+count, min, max and — for numeric columns — sum, enabling stripe-level
+predicate pushdown in the reader.
+"""
+
+import json
+import struct
+
+from repro.common.errors import OrcError
+from repro.orc.encodings import ENCODERS
+
+MAGIC = b"ORCSIM1\x00"
+DEFAULT_STRIPE_ROWS = 5000
+
+_VALID_KINDS = ("int", "double", "string", "boolean")
+
+
+def _column_stats(kind, values):
+    non_null = [v for v in values if v is not None]
+    stats = {
+        "count": len(values),
+        "nulls": len(values) - len(non_null),
+        "min": None,
+        "max": None,
+        "ndv": 0,
+    }
+    if non_null:
+        stats["min"] = min(non_null)
+        stats["max"] = max(non_null)
+        stats["ndv"] = len(set(non_null))
+        if kind in ("int", "double"):
+            stats["sum"] = sum(non_null)
+    return stats
+
+
+def _merge_stats(kind, a, b):
+    merged = {
+        "count": a["count"] + b["count"],
+        "nulls": a["nulls"] + b["nulls"],
+        "min": a["min"],
+        "max": a["max"],
+        # NDV cannot be merged exactly; the sum is a safe upper bound.
+        "ndv": a.get("ndv", 0) + b.get("ndv", 0),
+    }
+    for key, pick in (("min", min), ("max", max)):
+        left, right = a[key], b[key]
+        if left is None:
+            merged[key] = right
+        elif right is None:
+            merged[key] = left
+        else:
+            merged[key] = pick(left, right)
+    if kind in ("int", "double"):
+        merged["sum"] = a.get("sum", 0) + b.get("sum", 0)
+    return merged
+
+
+class OrcWriter:
+    """Buffers rows and serializes them into an ORC-like byte string.
+
+    ``schema`` is a list of ``(name, kind)`` pairs with kind one of
+    ``int``, ``double``, ``string``, ``boolean``.  Rows are tuples in
+    schema order.
+    """
+
+    def __init__(self, schema, stripe_rows=DEFAULT_STRIPE_ROWS, metadata=None):
+        if not schema:
+            raise OrcError("schema must have at least one column")
+        for name, kind in schema:
+            if kind not in _VALID_KINDS:
+                raise OrcError("unsupported column kind %r for %r" % (kind, name))
+        self.schema = [(str(name), kind) for name, kind in schema]
+        self.stripe_rows = int(stripe_rows)
+        if self.stripe_rows <= 0:
+            raise OrcError("stripe_rows must be positive")
+        self.metadata = dict(metadata or {})
+        self._columns = [[] for _ in self.schema]
+        self._stripes = []
+        self._body = bytearray()
+        self._num_rows = 0
+        self._finished = False
+
+    def write_row(self, row):
+        if self._finished:
+            raise OrcError("writer already finished")
+        if len(row) != len(self.schema):
+            raise OrcError(
+                "row arity %d != schema arity %d" % (len(row), len(self.schema)))
+        for col, value in zip(self._columns, row):
+            col.append(value)
+        self._num_rows += 1
+        if len(self._columns[0]) >= self.stripe_rows:
+            self._flush_stripe()
+
+    def write_rows(self, rows):
+        for row in rows:
+            self.write_row(row)
+
+    def _flush_stripe(self):
+        n = len(self._columns[0])
+        if n == 0:
+            return
+        stripe = {"offset": len(self._body), "num_rows": n, "columns": []}
+        for (name, kind), values in zip(self.schema, self._columns):
+            stream = ENCODERS[kind](values)
+            stripe["columns"].append({
+                "offset": len(self._body),
+                "length": len(stream),
+                "stats": _column_stats(kind, values),
+            })
+            self._body.extend(stream)
+        stripe["length"] = len(self._body) - stripe["offset"]
+        self._stripes.append(stripe)
+        self._columns = [[] for _ in self.schema]
+
+    def finish(self):
+        """Flush pending rows and return the complete file bytes."""
+        if self._finished:
+            raise OrcError("writer already finished")
+        self._flush_stripe()
+        self._finished = True
+        file_stats = []
+        for idx, (name, kind) in enumerate(self.schema):
+            agg = None
+            for stripe in self._stripes:
+                stats = stripe["columns"][idx]["stats"]
+                agg = stats if agg is None else _merge_stats(kind, agg, stats)
+            file_stats.append(agg or _column_stats(kind, []))
+        footer = {
+            "schema": self.schema,
+            "num_rows": self._num_rows,
+            "metadata": self.metadata,
+            "stripes": self._stripes,
+            "column_stats": file_stats,
+        }
+        footer_bytes = json.dumps(footer, separators=(",", ":")).encode("utf-8")
+        return (bytes(self._body) + footer_bytes
+                + struct.pack("<Q", len(footer_bytes)) + MAGIC)
+
+    @property
+    def num_rows(self):
+        return self._num_rows
+
+
+def write_orc(schema, rows, stripe_rows=DEFAULT_STRIPE_ROWS, metadata=None):
+    """One-shot helper: serialize ``rows`` and return the file bytes."""
+    writer = OrcWriter(schema, stripe_rows=stripe_rows, metadata=metadata)
+    writer.write_rows(rows)
+    return writer.finish()

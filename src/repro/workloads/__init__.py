@@ -1,0 +1,5 @@
+"""Workload generators: TPC-H, the State Grid datasets, DML statistics."""
+
+from repro.workloads import dml_stats, smartgrid, tpch
+
+__all__ = ["dml_stats", "smartgrid", "tpch"]

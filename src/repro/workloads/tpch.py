@@ -1,0 +1,258 @@
+"""TPC-H workload: dbgen-style generators plus the paper's statements.
+
+The paper's Section VI-B uses a 30 GB TPC-H data set: ``lineitem``
+(0.18 G rows, 23 GB) and ``orders`` (45 M rows, 5 GB).  We generate the
+same two tables deterministically at laptop scale; the bench harness sets
+the cluster's ``byte_scale``/``op_scale`` to the downscale factor so
+simulated run times land at paper magnitude.
+
+Statements provided (Section VI-B):
+
+* Query a = TPC-H Q1, Query b = TPC-H Q12, Query c = ``COUNT(*)`` on
+  lineitem (Figure 11);
+* DML-a (update 5 % of lineitem), DML-b (delete 2 % of lineitem),
+  DML-c (join update of 16 % of orders)  (Figure 12);
+* ratio-sweep update/delete statements (Figures 13–18).
+"""
+
+import datetime
+
+from repro.common.rng import make_rng
+
+PAPER_LINEITEM_ROWS = 180_000_000
+PAPER_ORDERS_ROWS = 45_000_000
+
+LINEITEM_COLUMNS = [
+    ("l_orderkey", "int"),
+    ("l_partkey", "int"),
+    ("l_suppkey", "int"),
+    ("l_linenumber", "int"),
+    ("l_quantity", "double"),
+    ("l_extendedprice", "double"),
+    ("l_discount", "double"),
+    ("l_tax", "double"),
+    ("l_returnflag", "string"),
+    ("l_linestatus", "string"),
+    ("l_shipdate", "date"),
+    ("l_commitdate", "date"),
+    ("l_receiptdate", "date"),
+    ("l_shipinstruct", "string"),
+    ("l_shipmode", "string"),
+    ("l_comment", "string"),
+]
+
+ORDERS_COLUMNS = [
+    ("o_orderkey", "int"),
+    ("o_custkey", "int"),
+    ("o_orderstatus", "string"),
+    ("o_totalprice", "double"),
+    ("o_orderdate", "date"),
+    ("o_orderpriority", "string"),
+    ("o_clerk", "string"),
+    ("o_shippriority", "int"),
+    ("o_comment", "string"),
+]
+
+_SHIPMODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+              "TAKE BACK RETURN"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+               "5-LOW"]
+_STATUS = ["F", "O", "P"]
+
+_EPOCH = datetime.date(1992, 1, 1)
+_CUTOFF = datetime.date(1995, 6, 17)
+
+
+def _date_str(days_since_epoch):
+    return (_EPOCH + datetime.timedelta(days=days_since_epoch)).isoformat()
+
+
+def generate_orders(num_orders, seed=42):
+    """Deterministic orders rows (one per orderkey, 1..num_orders)."""
+    rng = make_rng("tpch-orders", seed)
+    rows = []
+    for orderkey in range(1, num_orders + 1):
+        order_day = rng.randrange(0, 2400)
+        rows.append((
+            orderkey,
+            rng.randrange(1, max(2, num_orders // 10)),
+            rng.choice(_STATUS),
+            round(rng.uniform(900.0, 500000.0), 2),
+            _date_str(order_day),
+            rng.choice(_PRIORITIES),
+            "Clerk#%09d" % rng.randrange(1, 1000),
+            0,
+            "order comment %d" % orderkey,
+        ))
+    return rows
+
+
+def generate_lineitem(num_orders, seed=42, lines_per_order=4):
+    """Deterministic lineitem rows (~``lines_per_order`` per order)."""
+    rng = make_rng("tpch-lineitem", seed)
+    rows = []
+    for orderkey in range(1, num_orders + 1):
+        order_day = rng.randrange(0, 2400)
+        nlines = rng.randrange(1, 2 * lines_per_order)
+        for lineno in range(1, nlines + 1):
+            ship_day = order_day + rng.randrange(1, 122)
+            commit_day = order_day + rng.randrange(30, 91)
+            receipt_day = ship_day + rng.randrange(1, 31)
+            receipt_date = _EPOCH + datetime.timedelta(days=receipt_day)
+            if receipt_date <= _CUTOFF:
+                returnflag = rng.choice(["R", "A"])
+            else:
+                returnflag = "N"
+            quantity = float(rng.randrange(1, 51))
+            extended = round(quantity * rng.uniform(900.0, 2000.0), 2)
+            rows.append((
+                orderkey,
+                rng.randrange(1, 200_000),
+                rng.randrange(1, 10_000),
+                lineno,
+                quantity,
+                extended,
+                round(rng.uniform(0.0, 0.1), 2),
+                round(rng.uniform(0.0, 0.08), 2),
+                returnflag,
+                "F" if ship_day <= 2190 else "O",
+                _date_str(ship_day),
+                _date_str(commit_day),
+                _date_str(receipt_day),
+                rng.choice(_INSTRUCTS),
+                rng.choice(_SHIPMODES),
+                "line comment %d-%d" % (orderkey, lineno),
+            ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# DDL.
+# ----------------------------------------------------------------------
+def create_table_sql(table, storage, properties=None):
+    columns = {"lineitem": LINEITEM_COLUMNS, "orders": ORDERS_COLUMNS}[table]
+    cols = ", ".join("%s %s" % (n, t) for n, t in columns)
+    sql = "CREATE TABLE %s (%s) STORED AS %s" % (table, cols, storage)
+    if properties:
+        props = ", ".join("'%s' = '%s'" % (k, v)
+                          for k, v in sorted(properties.items()))
+        sql += " TBLPROPERTIES (%s)" % props
+    return sql
+
+
+# ----------------------------------------------------------------------
+# Read queries (Figure 11).
+# ----------------------------------------------------------------------
+QUERY_A_Q1 = """
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+QUERY_B_Q12 = """
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT'
+                  OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o_orderpriority != '1-URGENT'
+                 AND o_orderpriority != '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders o
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+WHERE l.l_shipmode IN ('MAIL', 'SHIP')
+  AND l.l_commitdate < l.l_receiptdate
+  AND l.l_shipdate < l.l_commitdate
+  AND l.l_receiptdate >= '1994-01-01'
+  AND l.l_receiptdate < '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode
+"""
+
+QUERY_C_COUNT = "SELECT count(*) FROM lineitem"
+
+
+# ----------------------------------------------------------------------
+# DML statements.
+# ----------------------------------------------------------------------
+def partkey_threshold(ratio, max_partkey=200_000):
+    """l_partkey threshold selecting ~``ratio`` of lineitem uniformly.
+
+    l_partkey is uniform and uncorrelated with row order, so predicates on
+    it model the paper's "randomly update one field in X% of the records":
+    every stripe overlaps, no pruning, selectivity ≈ ratio.
+    """
+    return max(1, int(round(ratio * max_partkey)))
+
+
+def update_ratio_sql(ratio):
+    """UPDATE touching ~ratio of lineitem rows, one field changed."""
+    return ("UPDATE lineitem SET l_comment = 'updated' "
+            "WHERE l_partkey <= %d" % partkey_threshold(ratio))
+
+
+def delete_ratio_sql(ratio):
+    """DELETE touching ~ratio of lineitem rows."""
+    return ("DELETE FROM lineitem WHERE l_partkey <= %d"
+            % partkey_threshold(ratio))
+
+
+def dml_a_sql():
+    """DML-a: update 5 % of lineitem (Figure 12)."""
+    return update_ratio_sql(0.05)
+
+
+def dml_b_sql():
+    """DML-b: delete 2 % of lineitem (Figure 12)."""
+    return delete_ratio_sql(0.02)
+
+
+def dml_c_sql(num_orders):
+    """DML-c: join lineitem and orders, update 16 % of orders.
+
+    Orders whose lineitems shipped in the last ~16 % of the date range are
+    marked; the subquery is the join side.
+    """
+    return ("UPDATE orders SET o_orderstatus = 'X' "
+            "WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem "
+            "WHERE l_orderkey <= %d)" % max(1, int(0.16 * num_orders)))
+
+
+FULL_SCAN_SQL = ("SELECT count(*), sum(l_extendedprice) FROM lineitem")
+
+
+_ROW_CACHE = {}
+
+
+def tpch_rows_cached(table, num_orders, seed=42):
+    """Memoized generator access (tuples are immutable, safe to share)."""
+    key = (table, num_orders, seed)
+    if key not in _ROW_CACHE:
+        generator = {"lineitem": generate_lineitem,
+                     "orders": generate_orders}[table]
+        _ROW_CACHE[key] = generator(num_orders, seed=seed)
+    return _ROW_CACHE[key]
+
+
+def load_tpch(session, num_orders, storage="orc", seed=42,
+              properties=None, tables=("lineitem", "orders")):
+    """Create + load the TPC-H tables into a session. Returns row counts."""
+    counts = {}
+    for table in ("lineitem", "orders"):
+        if table not in tables:
+            continue
+        session.execute(create_table_sql(table, storage, properties))
+        rows = tpch_rows_cached(table, num_orders, seed=seed)
+        session.load_rows(table, rows)
+        counts[table] = len(rows)
+    return counts

@@ -1,0 +1,112 @@
+"""Smoke tests for the bench harness: runners, experiments, CLI, report."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, SCALES, format_table, render
+from repro.bench.cli import main
+from repro.bench.experiments import (ExperimentResult, ablation_k, fig4,
+                                     table1, table2, table3)
+from repro.bench.runners import (bench_profile, grid_session, resolve_scale,
+                                 tpch_session)
+
+
+class TestRunners:
+    def test_scales_defined(self):
+        assert {"tiny", "small", "medium"} <= set(SCALES)
+
+    def test_resolve_scale(self):
+        assert resolve_scale("tiny").name == "tiny"
+        assert resolve_scale(SCALES["tiny"]) is SCALES["tiny"]
+        with pytest.raises(ValueError):
+            resolve_scale("galactic")
+
+    def test_bench_profile_shape(self):
+        profile = bench_profile()
+        assert profile.total_map_slots == 24
+        assert profile.total_reduce_slots == 8
+
+    def test_tpch_session_scaled(self):
+        session = tpch_session("orc", SCALES["tiny"],
+                               tables=("lineitem",))
+        profile = session.cluster.profile
+        assert profile.byte_scale > 1000
+        assert profile.op_scale > 1000
+        assert session.execute(
+            "SELECT count(*) FROM lineitem").scalar() > 0
+
+    def test_grid_session_loads_tables(self):
+        session = grid_session("orc", SCALES["tiny"], ["tj_sjwzl_y"])
+        assert session.execute(
+            "SELECT count(*) FROM tj_sjwzl_y").scalar() >= 200
+
+    def test_dualtable_mode_property_applied(self):
+        session = tpch_session("dualtable", SCALES["tiny"], mode="edit",
+                               tables=("lineitem",))
+        assert session.table("lineitem").handler.mode == "edit"
+
+
+class TestExperimentRegistry:
+    def test_every_paper_artifact_covered(self):
+        expected = {"table1", "table2", "table3", "table4"} | {
+            "fig%d" % i for i in range(4, 19)}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_ablations_present(self):
+        assert {"ablation-costmodel", "ablation-acid", "ablation-compact",
+                "ablation-k"} <= set(EXPERIMENTS)
+
+
+class TestCheapExperiments:
+    def test_table1(self):
+        result = table1()
+        assert len(result.rows) == 5
+        assert result.rows[0][-1] == 62
+
+    def test_table2_and_3_row_counts(self):
+        assert len(table2(scale="tiny").rows) == 6
+        assert len(table3(scale="tiny").rows) == 6
+
+    def test_fig4_shape(self):
+        result = fig4(scale="tiny")
+        assert len(result.rows) == 4
+        systems = {r[0] for r in result.rows}
+        assert systems == {"Hive(HDFS)", "DualTable"}
+        # DualTable read overhead exists but is bounded (paper: ~8-12%).
+        by_key = {(r[0], r[1]): r[2] for r in result.rows}
+        hive = by_key[("Hive(HDFS)", "query2_count")]
+        dual = by_key[("DualTable", "query2_count")]
+        assert hive <= dual <= hive * 1.3
+
+    def test_ablation_k_monotone(self):
+        result = ablation_k(scale="tiny")
+        crossovers = [float(r[1].rstrip("%")) for r in result.rows]
+        assert crossovers == sorted(crossovers, reverse=True)
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "long_header"], [(1, 2.5), (30, "x")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_render_includes_notes(self):
+        result = ExperimentResult(experiment="x", title="T",
+                                  columns=["c"], rows=[(1,)], notes="N")
+        out = render(result)
+        assert "== T ==" in out and "note: N" in out
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "table4" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_runs_one_experiment(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out

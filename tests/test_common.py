@@ -1,0 +1,84 @@
+"""Tests for repro.common: units, errors, RNG derivation."""
+
+import pytest
+
+from repro.common import errors
+from repro.common.rng import derive_seed, make_rng
+from repro.common.units import GB, KB, MB, fmt_bytes, fmt_seconds
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_fmt_bytes_bytes(self):
+        assert fmt_bytes(0) == "0 B"
+        assert fmt_bytes(512) == "512 B"
+
+    def test_fmt_bytes_kb(self):
+        assert fmt_bytes(1536) == "1.50 KB"
+
+    def test_fmt_bytes_mb(self):
+        assert fmt_bytes(2 * MB) == "2.00 MB"
+
+    def test_fmt_bytes_gb(self):
+        assert fmt_bytes(3 * GB) == "3.00 GB"
+
+    def test_fmt_bytes_tb(self):
+        assert "TB" in fmt_bytes(5 * 1024 * GB)
+
+    def test_fmt_seconds_small(self):
+        assert fmt_seconds(1.5) == "1.50s"
+
+    def test_fmt_seconds_minutes(self):
+        assert fmt_seconds(93.5) == "1m 33.5s"
+
+    def test_fmt_seconds_hours(self):
+        assert fmt_seconds(3723) == "1h 2m 3s"
+
+    def test_fmt_seconds_negative(self):
+        assert fmt_seconds(-5) == "-5.00s"
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed("lineitem", 42) == derive_seed("lineitem", 42)
+
+    def test_derive_seed_distinct_parts(self):
+        assert derive_seed("lineitem", 42) != derive_seed("orders", 42)
+
+    def test_derive_seed_distinct_seeds(self):
+        assert derive_seed("t", 1) != derive_seed("t", 2)
+
+    def test_derive_seed_no_concat_collision(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+
+    def test_make_rng_reproducible(self):
+        a = make_rng("x", 1)
+        b = make_rng("x", 1)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.HdfsError, errors.OrcError, errors.HBaseError,
+        errors.MapReduceError, errors.HiveError, errors.DualTableError,
+    ])
+    def test_subsystem_errors_are_repro_errors(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_parse_error_position(self):
+        err = errors.ParseError("bad", position=17)
+        assert err.position == 17
+
+    def test_specific_errors(self):
+        assert issubclass(errors.FileNotFoundHdfsError, errors.HdfsError)
+        assert issubclass(errors.ImmutableFileError, errors.HdfsError)
+        assert issubclass(errors.CorruptOrcFileError, errors.OrcError)
+        assert issubclass(errors.TableNotFoundError, errors.HBaseError)
+        assert issubclass(errors.ParseError, errors.HiveError)
+        assert issubclass(errors.CompactionInProgressError,
+                          errors.DualTableError)

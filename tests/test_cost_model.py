@@ -1,0 +1,127 @@
+"""Tests for the DualTable cost model (Section IV of the paper)."""
+
+import pytest
+
+from repro.cluster import ClusterProfile
+from repro.common.units import GB
+from repro.core import CostModel, cost_d_paper, cost_u_paper
+
+
+class TestPaperEquations:
+    def test_worked_example_from_section_iv(self):
+        """The paper's example: D=100GB, α=0.01, k=30 ⇒ CostU = 38.75s."""
+        cost = cost_u_paper(
+            d_bytes=100.0, alpha=0.01, k=30,
+            master_write_bps=1.0,       # 1 GB/s, expressed in GB units
+            attached_write_bps=0.8,
+            attached_read_bps=0.5)
+        assert cost == pytest.approx(38.75)
+
+    def test_eq1_positive_means_edit_for_small_alpha(self):
+        small = cost_u_paper(100.0, 0.001, 1, 1.0, 0.8, 0.5)
+        large = cost_u_paper(100.0, 0.9, 1, 1.0, 0.8, 0.5)
+        assert small > 0           # EDIT wins
+        assert large < 0           # OVERWRITE wins
+
+    def test_eq1_monotone_in_alpha_and_k(self):
+        costs_alpha = [cost_u_paper(100.0, a, 5, 1.0, 0.8, 0.5)
+                       for a in (0.01, 0.1, 0.3, 0.6)]
+        assert costs_alpha == sorted(costs_alpha, reverse=True)
+        costs_k = [cost_u_paper(100.0, 0.1, k, 1.0, 0.8, 0.5)
+                   for k in (1, 5, 20, 50)]
+        assert costs_k == sorted(costs_k, reverse=True)
+
+    def test_eq2_delete_uses_marker_fraction(self):
+        # With tiny markers, EDIT stays cheap far longer than for updates.
+        upd = cost_u_paper(100.0, 0.3, 1, 1.0, 0.8, 0.5)
+        dele = cost_d_paper(100.0, 0.3, 1, row_bytes=100, marker_bytes=10,
+                            master_write_bps=1.0, master_read_bps=1.2,
+                            attached_write_bps=0.8, attached_read_bps=0.5)
+        assert dele != upd
+
+    def test_eq2_overwrite_cheapens_with_beta(self):
+        # As β→1 OVERWRITE writes almost nothing, so CostD drops.
+        low = cost_d_paper(100.0, 0.05, 1, 100, 10, 1.0, 1.2, 0.8, 0.5)
+        high = cost_d_paper(100.0, 0.9, 1, 100, 10, 1.0, 1.2, 0.8, 0.5)
+        assert high < low
+
+
+@pytest.fixture
+def model():
+    profile = ClusterProfile(name="cm", hbase_op_latency_s=2e-6,
+                             hbase_scan_row_latency_s=2e-7)
+    return CostModel(profile, k=1)
+
+
+D = 10 * GB
+ROWS = 100_000_000
+
+
+class TestPlanChoice:
+    def test_small_ratio_chooses_edit(self, model):
+        choice = model.choose_update_plan(D, ROWS, 0.01, 40)
+        assert choice.plan == "edit"
+        assert choice.cost_difference > 0
+
+    def test_huge_ratio_chooses_overwrite(self, model):
+        choice = model.choose_update_plan(D, ROWS, 0.95, 40)
+        assert choice.plan == "overwrite"
+
+    def test_choice_is_monotone_in_ratio(self, model):
+        plans = [model.choose_update_plan(D, ROWS, r, 40).plan
+                 for r in (0.01, 0.1, 0.3, 0.5, 0.7, 0.9)]
+        # once overwrite appears it never flips back
+        first_over = plans.index("overwrite") if "overwrite" in plans \
+            else len(plans)
+        assert all(p == "edit" for p in plans[:first_over])
+        assert all(p == "overwrite" for p in plans[first_over:])
+
+    def test_delete_crossover_not_higher_than_update(self, model):
+        upd = model.update_crossover_ratio(D, ROWS, 40)
+        dele = model.delete_crossover_ratio(D, ROWS)
+        assert 0 < dele <= upd < 1
+
+    def test_more_reads_lower_crossover(self, model):
+        cross = [model.update_crossover_ratio(D, ROWS, 40, k=k)
+                 for k in (1, 5, 30)]
+        assert cross == sorted(cross, reverse=True)
+        assert cross[-1] < cross[0] / 2
+
+    def test_pruned_scan_favors_edit(self, model):
+        full = model.choose_update_plan(D, ROWS, 0.4, 40,
+                                        edit_scan_bytes=D)
+        pruned = model.choose_update_plan(D, ROWS, 0.4, 40,
+                                          edit_scan_bytes=D // 100)
+        assert pruned.cost_difference > full.cost_difference
+
+    def test_bigger_update_payload_favors_overwrite(self, model):
+        slim = model.choose_update_plan(D, ROWS, 0.3, 30)
+        fat = model.choose_update_plan(D, ROWS, 0.3, 3000)
+        assert fat.cost_difference < slim.cost_difference
+
+    def test_plan_choice_reports_components(self, model):
+        choice = model.choose_update_plan(D, ROWS, 0.1, 40)
+        assert choice.edit_seconds > 0
+        assert choice.overwrite_seconds > 0
+        assert choice.touched_rows == pytest.approx(0.1 * ROWS)
+        assert choice.k == 1
+        assert choice.d_bytes == D
+
+    def test_byte_scale_scales_costs(self):
+        base = CostModel(ClusterProfile(name="a"))
+        scaled = CostModel(ClusterProfile(name="b", byte_scale=10.0))
+        a = base.choose_update_plan(D, ROWS, 0.1, 40)
+        b = scaled.choose_update_plan(D, ROWS, 0.1, 40)
+        assert b.overwrite_seconds == pytest.approx(
+            10 * a.overwrite_seconds)
+
+    def test_zero_rows_table(self, model):
+        choice = model.choose_update_plan(0, 0, 0.0, 40)
+        assert choice.plan in ("edit", "overwrite")
+
+    def test_crossover_bisection_consistent(self, model):
+        cross = model.update_crossover_ratio(D, ROWS, 40)
+        below = model.choose_update_plan(D, ROWS, cross * 0.9, 40)
+        above = model.choose_update_plan(D, ROWS, min(1.0, cross * 1.1), 40)
+        assert below.plan == "edit"
+        assert above.plan == "overwrite"

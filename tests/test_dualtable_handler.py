@@ -1,0 +1,207 @@
+"""End-to-end tests of the DualTable storage handler through the session."""
+
+import pytest
+
+from repro.cluster import ClusterProfile
+from repro.common.errors import CompactionInProgressError
+from repro.core.record_id import encode_record_id
+from repro.hive import HiveSession
+
+
+@pytest.fixture
+def session():
+    return HiveSession(profile=ClusterProfile.laptop())
+
+
+def make_dualtable(session, mode="edit", n=200, rows_per_file=50):
+    session.execute(
+        "CREATE TABLE dt (id int, day string, amount double, tag string) "
+        "STORED AS DUALTABLE TBLPROPERTIES ("
+        "'dualtable.mode' = '%s', 'orc.rows_per_file' = '%d', "
+        "'orc.stripe_rows' = '10')" % (mode, rows_per_file))
+    rows = [(i, "2013-07-%02d" % (1 + i % 20), float(i), "t%d" % (i % 3))
+            for i in range(n)]
+    session.load_rows("dt", rows)
+    return session.table("dt").handler
+
+
+class TestReads:
+    def test_scan_equals_loaded_rows(self, session):
+        make_dualtable(session)
+        assert session.execute("SELECT count(*) FROM dt").scalar() == 200
+
+    def test_splits_one_per_master_file(self, session):
+        handler = make_dualtable(session, rows_per_file=50)
+        assert len(handler.scan_splits()) == 4
+
+    def test_read_split_with_rids_sorted(self, session):
+        handler = make_dualtable(session)
+        for split in handler.scan_splits():
+            rids = [rid for rid, _ in
+                    handler.read_split_with_rids(split, None)]
+            assert rids == sorted(rids)
+
+    def test_pruning_disabled_when_attached_nonempty(self, session):
+        handler = make_dualtable(session)
+        splits = handler.scan_splits(ranges={"id": None})
+        assert all(s.payload["prune_safe"] for s in splits)
+        session.execute("UPDATE dt SET tag = 'x' WHERE id = 0")
+        splits = handler.scan_splits(ranges={"id": None})
+        # first file now has attached entries: pruning unsafe there.
+        assert not splits[0].payload["prune_safe"]
+        assert splits[1].payload["prune_safe"]
+
+
+class TestUpdateCorrectness:
+    def test_update_visible_through_union_read(self, session):
+        make_dualtable(session)
+        session.execute("UPDATE dt SET amount = 0 WHERE day = '2013-07-03'")
+        got = session.execute(
+            "SELECT count(*) FROM dt WHERE amount = 0 AND id > 0")
+        assert got.scalar() == 10
+
+    def test_update_moves_row_into_predicate_range(self, session):
+        """Pruning soundness: a second update must see values written by
+        the first one even when stripe stats say otherwise."""
+        make_dualtable(session)
+        session.execute("UPDATE dt SET day = '2099-01-01' WHERE id = 5")
+        result = session.execute(
+            "UPDATE dt SET tag = 'future' WHERE day = '2099-01-01'")
+        assert result.affected == 1
+        assert session.execute("SELECT tag FROM dt WHERE id = 5"
+                               ).scalar() == "future"
+
+    def test_repeated_updates_last_wins(self, session):
+        make_dualtable(session)
+        for value in ("a", "b", "c"):
+            session.execute("UPDATE dt SET tag = '%s' WHERE id = 7" % value)
+        assert session.execute(
+            "SELECT tag FROM dt WHERE id = 7").scalar() == "c"
+
+    def test_edit_plan_does_not_touch_master(self, session):
+        handler = make_dualtable(session)
+        files_before = handler.master.file_paths()
+        session.execute("UPDATE dt SET tag = 'x' WHERE id < 10")
+        assert handler.master.file_paths() == files_before
+        assert not handler.attached.is_empty()
+
+    def test_overwrite_plan_rewrites_master_and_clears_attached(self,
+                                                                session):
+        handler = make_dualtable(session, mode="edit")
+        session.execute("UPDATE dt SET tag = 'x' WHERE id < 10")
+        assert not handler.attached.is_empty()
+        handler.mode = "overwrite"
+        session.execute("UPDATE dt SET tag = 'y' WHERE id < 5")
+        assert handler.attached.is_empty()
+        assert session.execute(
+            "SELECT count(*) FROM dt WHERE tag = 'y'").scalar() == 5
+        # earlier edit survived the rewrite
+        assert session.execute(
+            "SELECT count(*) FROM dt WHERE tag = 'x'").scalar() == 5
+
+    def test_update_history_tracked(self, session):
+        handler = make_dualtable(session)
+        session.execute("UPDATE dt SET tag = 'v1' WHERE id = 3")
+        session.execute("UPDATE dt SET tag = 'v2' WHERE id = 3")
+        history = handler.attached.history(encode_record_id(0, 3))
+        tag_index = handler.schema.index_of("tag")
+        assert [v for _, v in history[tag_index]] == ["v2", "v1"]
+
+
+class TestDeleteCorrectness:
+    def test_delete_hides_rows(self, session):
+        make_dualtable(session)
+        result = session.execute("DELETE FROM dt WHERE id < 20")
+        assert result.affected == 20
+        assert session.execute("SELECT count(*) FROM dt").scalar() == 180
+        assert session.execute("SELECT min(id) FROM dt").scalar() == 20
+
+    def test_delete_then_insert_appends_new_file(self, session):
+        handler = make_dualtable(session)
+        session.execute("DELETE FROM dt WHERE id >= 100")
+        session.execute("INSERT INTO dt VALUES (999, 'd', 1.0, 'new')")
+        assert session.execute("SELECT count(*) FROM dt").scalar() == 101
+        assert session.execute(
+            "SELECT tag FROM dt WHERE id = 999").scalar() == "new"
+
+    def test_aggregates_respect_deletes(self, session):
+        make_dualtable(session, n=10, rows_per_file=10)
+        before = session.execute("SELECT sum(amount) FROM dt").scalar()
+        session.execute("DELETE FROM dt WHERE id = 9")
+        after = session.execute("SELECT sum(amount) FROM dt").scalar()
+        assert before - after == pytest.approx(9.0)
+
+
+class TestCompact:
+    def test_compact_preserves_logical_table(self, session):
+        handler = make_dualtable(session)
+        session.execute("UPDATE dt SET tag = 'upd' WHERE id < 30")
+        session.execute("DELETE FROM dt WHERE id >= 150")
+        expect = session.execute("SELECT * FROM dt ORDER BY id").rows
+        result = session.execute("COMPACT TABLE dt")
+        assert result.plan == "compact"
+        got = session.execute("SELECT * FROM dt ORDER BY id").rows
+        assert got == expect
+        assert handler.attached.is_empty()
+
+    def test_compact_empty_attached_is_noop(self, session):
+        make_dualtable(session)
+        result = session.execute("COMPACT TABLE dt")
+        assert result.plan == "compact-noop"
+
+    def test_compact_blocks_concurrent_ops(self, session):
+        handler = make_dualtable(session)
+        handler._compacting = True
+        with pytest.raises(CompactionInProgressError):
+            handler.scan_splits()
+        with pytest.raises(CompactionInProgressError):
+            handler.insert_rows([(1, "d", 1.0, "t")])
+        handler._compacting = False
+
+    def test_compact_resets_read_cost(self, session):
+        make_dualtable(session)
+        session.execute("UPDATE dt SET tag = 'x' WHERE id < 100")
+        costly = session.execute("SELECT count(*) FROM dt").sim_seconds
+        session.execute("COMPACT TABLE dt")
+        cheap = session.execute("SELECT count(*) FROM dt").sim_seconds
+        assert cheap < costly
+
+
+class TestCostModelIntegration:
+    def test_ratio_estimated_from_stripe_stats(self, session):
+        make_dualtable(session, mode="cost")
+        result = session.execute(
+            "UPDATE dt SET tag = 'x' WHERE id < 20")
+        assert result.detail["ratio"] == pytest.approx(0.1, abs=0.05)
+
+    def test_sampling_fallback_for_opaque_predicate(self, session):
+        make_dualtable(session, mode="cost")
+        # column-vs-column predicate: no ranges, must sample.
+        result = session.execute(
+            "UPDATE dt SET tag = 'x' WHERE id % 2 = 0")
+        assert 0.3 < result.detail["ratio"] < 0.7
+
+    def test_detail_reports_costs(self, session):
+        make_dualtable(session, mode="cost")
+        result = session.execute("UPDATE dt SET tag = 'x' WHERE id = 1")
+        for key in ("plan", "cost_plan", "cost_difference",
+                    "edit_seconds", "overwrite_seconds", "ratio"):
+            assert key in result.detail
+
+    def test_forced_modes_override_cost_model(self, session):
+        make_dualtable(session, mode="overwrite")
+        result = session.execute("UPDATE dt SET tag = 'x' WHERE id = 1")
+        assert result.detail["plan"] == "overwrite"
+
+    def test_bad_mode_rejected(self, session):
+        with pytest.raises(Exception):
+            session.execute(
+                "CREATE TABLE bad (a int) STORED AS DUALTABLE "
+                "TBLPROPERTIES ('dualtable.mode' = 'sometimes')")
+
+    def test_ratio_recorded_in_history(self, session):
+        handler = make_dualtable(session, mode="cost")
+        session.execute("UPDATE dt SET tag = 'x' WHERE id < 20")
+        history = handler.metadata.ratio_history("dt")
+        assert len(history) == 1
+        assert history[0] == pytest.approx(0.1, abs=0.05)

@@ -1,0 +1,267 @@
+"""Tests for the HiveQL lexer and parser."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.hive import ast_nodes as ast
+from repro.hive.lexer import tokenize
+from repro.hive.parser import parse, parse_script
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt FROM where")
+        assert [t.value for t in tokens[:-1]] == ["select", "from", "where"]
+
+    def test_identifiers_preserved(self):
+        tokens = tokenize("tj_TqXs_r")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].value == "tj_TqXs_r"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e6 2.5e-3")
+        assert [t.value for t in tokens[:-1]] == [42, 3.14, 1e6, 2.5e-3]
+
+    def test_string_literals_and_escapes(self):
+        tokens = tokenize("'it''s' \"double\"")
+        assert tokens[0].value == "it's"
+        assert tokens[1].value == "double"
+
+    def test_unterminated_string_fails(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_operators_normalized(self):
+        tokens = tokenize("a <> b == c")
+        ops = [t.value for t in tokens if t.kind == "op"]
+        assert ops == ["!=", "="]
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize("select -- comment\n 1")
+        assert [t.value for t in tokens[:-1]] == ["select", 1]
+
+    def test_block_comments_skipped(self):
+        tokens = tokenize("select /* hi\nthere */ 1")
+        assert [t.value for t in tokens[:-1]] == ["select", 1]
+
+    def test_backtick_identifiers(self):
+        tokens = tokenize("`select`")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].value == "select"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("select @")
+
+
+class TestSelectParsing:
+    def test_simple(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert len(stmt.items) == 2
+        assert stmt.source.name == "t"
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expr.qualifier == "t"
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.source.alias == "u"
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse("SELECT a, count(*) c FROM t WHERE a > 1 "
+                     "GROUP BY a HAVING count(*) > 2 "
+                     "ORDER BY c DESC LIMIT 5")
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 5
+
+    def test_join_kinds(self):
+        stmt = parse("SELECT a FROM t1 JOIN t2 ON t1.k = t2.k "
+                     "LEFT OUTER JOIN t3 ON t2.k = t3.k")
+        assert [j.kind for j in stmt.joins] == ["inner", "left"]
+
+    def test_derived_table(self):
+        stmt = parse("SELECT x FROM (SELECT a x FROM t) sub")
+        assert stmt.source.subquery is not None
+        assert stmt.source.alias == "sub"
+
+    def test_scalar_subquery(self):
+        stmt = parse("SELECT a FROM t WHERE a > (SELECT max(a) FROM t)")
+        assert isinstance(stmt.where.right, ast.SubQueryExpr)
+
+    def test_in_subquery(self):
+        stmt = parse("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(stmt.where, ast.InList)
+        assert isinstance(stmt.where.items[0], ast.SubQueryExpr)
+
+    def test_constant_select_without_from(self):
+        stmt = parse("SELECT 1 + 2")
+        assert stmt.source is None
+
+
+class TestExpressionParsing:
+    def _expr(self, text):
+        return parse("SELECT %s" % text).items[0].expr
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_and_or_precedence(self):
+        expr = self._expr("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, ast.LogicalOp) and expr.op == "or"
+        assert expr.operands[1].op == "and"
+
+    def test_not(self):
+        expr = self._expr("NOT a = 1")
+        assert isinstance(expr, ast.NotOp)
+
+    def test_between_desugars(self):
+        expr = self._expr("a BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.LogicalOp) and expr.op == "and"
+        assert expr.operands[0].op == ">="
+        assert expr.operands[1].op == "<="
+
+    def test_not_between(self):
+        expr = self._expr("a NOT BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.NotOp)
+
+    def test_in_list(self):
+        expr = self._expr("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        expr = self._expr("a NOT IN (1)")
+        assert expr.negated
+
+    def test_like(self):
+        expr = self._expr("name LIKE 'a%'")
+        assert isinstance(expr, ast.LikeOp)
+
+    def test_is_null_and_is_not_null(self):
+        assert not self._expr("a IS NULL").negated
+        assert self._expr("a IS NOT NULL").negated
+
+    def test_case_when(self):
+        expr = self._expr("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.CaseWhen)
+        assert len(expr.whens) == 1
+        assert expr.default is not None
+
+    def test_if_function(self):
+        expr = self._expr("IF(a = 1, 'x', 'y')")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "if"
+
+    def test_count_star_and_distinct(self):
+        star = self._expr("count(*)")
+        assert isinstance(star.args[0], ast.Star)
+        distinct = self._expr("count(DISTINCT a)")
+        assert distinct.distinct
+
+    def test_qualified_column(self):
+        expr = self._expr("t.col")
+        assert expr.qualifier == "t" and expr.name == "col"
+
+    def test_unary_minus(self):
+        expr = self._expr("-a")
+        assert isinstance(expr, ast.UnaryMinus)
+
+    def test_string_concat_operator(self):
+        expr = self._expr("a || b")
+        assert expr.op == "||"
+
+
+class TestDmlDdlParsing:
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'")
+        assert isinstance(stmt, ast.UpdateStmt)
+        assert [name for name, _ in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_update_with_alias(self):
+        stmt = parse("UPDATE t u SET u.a = 1 WHERE u.b = 2")
+        assert stmt.alias == "u"
+        assert stmt.assignments[0][0] == "a"
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a < 5")
+        assert isinstance(stmt, ast.DeleteStmt)
+        assert stmt.table == "t"
+
+    def test_delete_without_where(self):
+        stmt = parse("DELETE FROM t")
+        assert stmt.where is None
+
+    def test_insert_select(self):
+        stmt = parse("INSERT OVERWRITE TABLE t SELECT * FROM u")
+        assert stmt.overwrite
+        assert stmt.query is not None
+
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert not stmt.overwrite
+        assert len(stmt.values) == 2
+
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE t (a int, b string, c double) "
+                     "STORED AS DUALTABLE "
+                     "TBLPROPERTIES ('dualtable.mode' = 'edit')")
+        assert stmt.storage == "dualtable"
+        assert stmt.columns == [("a", "int"), ("b", "string"),
+                                ("c", "double")]
+        assert stmt.properties == {"dualtable.mode": "edit"}
+
+    def test_create_if_not_exists(self):
+        stmt = parse("CREATE TABLE IF NOT EXISTS t (a int)")
+        assert stmt.if_not_exists
+
+    def test_drop(self):
+        assert not parse("DROP TABLE t").if_exists
+        assert parse("DROP TABLE IF EXISTS t").if_exists
+
+    def test_compact(self):
+        stmt = parse("COMPACT TABLE t")
+        assert isinstance(stmt, ast.CompactStmt) and stmt.major
+        assert not parse("COMPACT TABLE t minor").major
+
+    def test_show_and_describe(self):
+        assert isinstance(parse("SHOW TABLES"), ast.ShowTablesStmt)
+        assert parse("DESCRIBE t").table == "t"
+
+    def test_script_parsing(self):
+        stmts = parse_script("SELECT 1; SELECT 2;; SELECT 3")
+        assert len(stmts) == 3
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT",                          # empty select list
+        "SELECT a FROM",                   # missing table
+        "UPDATE t",                        # missing SET
+        "DELETE t",                        # missing FROM
+        "CREATE TABLE t",                  # missing columns
+        "SELECT a FROM t WHERE",           # dangling where
+        "FROB the table",                  # unknown statement
+        "SELECT a FROM t GROUP a",         # missing BY
+        "SELECT a b c FROM t",             # junk after alias
+    ])
+    def test_bad_statements(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)

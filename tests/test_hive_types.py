@@ -1,0 +1,101 @@
+"""Tests for the Hive type system and schema validation."""
+
+import pytest
+
+from repro.common.errors import AnalysisError
+from repro.hive.types import Column, HiveType, TableSchema
+from repro.hive.valuecodec import decode_value, encode_value
+
+
+class TestHiveType:
+    def test_parse_canonical(self):
+        assert HiveType.parse("int") is HiveType.INT
+        assert HiveType.parse("STRING") is HiveType.STRING
+
+    def test_parse_aliases(self):
+        assert HiveType.parse("integer") is HiveType.INT
+        assert HiveType.parse("varchar") is HiveType.STRING
+        assert HiveType.parse("float") is HiveType.DOUBLE
+        assert HiveType.parse("bool") is HiveType.BOOLEAN
+        assert HiveType.parse("long") is HiveType.BIGINT
+
+    def test_parse_unknown(self):
+        with pytest.raises(AnalysisError):
+            HiveType.parse("blob")
+
+    def test_physical_kinds(self):
+        assert Column("a", HiveType.BIGINT).physical_kind == "int"
+        assert Column("a", HiveType.DATE).physical_kind == "string"
+        assert Column("a", HiveType.DECIMAL).physical_kind == "double"
+
+
+class TestTableSchema:
+    def test_from_tuples(self):
+        schema = TableSchema([("a", "int"), ("b", "string")])
+        assert schema.names == ["a", "b"]
+        assert len(schema) == 2
+
+    def test_index_lookup_case_insensitive(self):
+        schema = TableSchema([("Amount", "double")])
+        assert schema.index_of("amount") == 0
+        assert schema.column("AMOUNT").name == "Amount"
+
+    def test_unknown_column(self):
+        schema = TableSchema([("a", "int")])
+        with pytest.raises(AnalysisError):
+            schema.index_of("b")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(AnalysisError):
+            TableSchema([("a", "int"), ("A", "string")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(AnalysisError):
+            TableSchema([])
+
+    def test_orc_schema(self):
+        schema = TableSchema([("a", "bigint"), ("d", "date")])
+        assert schema.orc_schema() == [("a", "int"), ("d", "string")]
+
+    def test_coerce_row(self):
+        schema = TableSchema([("a", "int"), ("b", "double"),
+                              ("c", "string")])
+        assert schema.coerce_row(("5", 2, 3)) == (5, 2.0, "3")
+
+    def test_coerce_preserves_none(self):
+        schema = TableSchema([("a", "int")])
+        assert schema.coerce_row((None,)) == (None,)
+
+    def test_coerce_arity_mismatch(self):
+        schema = TableSchema([("a", "int")])
+        with pytest.raises(AnalysisError):
+            schema.coerce_row((1, 2))
+
+    def test_coerce_bad_value(self):
+        schema = TableSchema([("a", "int")])
+        with pytest.raises(AnalysisError):
+            schema.coerce_row(("not a number",))
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -17, 2**40, 3.5, -0.0, "", "héllo",
+    ])
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_bool_not_confused_with_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+
+    def test_unencodable(self):
+        from repro.common.errors import HBaseError
+        with pytest.raises(HBaseError):
+            encode_value([1, 2])
+
+    def test_undecodable(self):
+        from repro.common.errors import HBaseError
+        with pytest.raises(HBaseError):
+            decode_value(b"")
+        with pytest.raises(HBaseError):
+            decode_value(b"\x99junk")

@@ -1,0 +1,184 @@
+"""Tests for the MapReduce engine: execution, shuffle, makespan model."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterProfile
+from repro.common.errors import TaskFailedError
+from repro.mapreduce import InputSplit, Job, JobRunner, stable_hash
+from repro.mapreduce.runner import _makespan
+
+
+@pytest.fixture
+def runner():
+    return JobRunner(Cluster(ClusterProfile.laptop()))
+
+
+def _splits(n_splits=4, per_split=50):
+    return [InputSplit(payload=list(range(i * per_split,
+                                          (i + 1) * per_split)),
+                       size_bytes=per_split * 8, label="s%d" % i)
+            for i in range(n_splits)]
+
+
+class TestExecution:
+    def test_map_only_preserves_split_order(self, runner):
+        job = Job("scan", _splits(), lambda s, ctx: iter(s.payload), None)
+        result = runner.run(job)
+        assert result.outputs == list(range(200))
+        assert result.num_map_tasks == 4
+        assert result.num_reduce_tasks == 0
+
+    def test_wordcount_style_aggregation(self, runner):
+        def map_fn(split, ctx):
+            for v in split.payload:
+                yield v % 5, 1
+
+        def reduce_fn(key, values, ctx):
+            yield key, sum(values)
+
+        result = runner.run(Job("count", _splits(), map_fn, reduce_fn,
+                                num_reducers=3))
+        assert sorted(result.outputs) == [(i, 40) for i in range(5)]
+
+    def test_counters_aggregated(self, runner):
+        def map_fn(split, ctx):
+            for v in split.payload:
+                ctx.incr("seen")
+                yield v % 2, v
+
+        def reduce_fn(key, values, ctx):
+            ctx.incr("groups")
+            yield key
+
+        result = runner.run(Job("c", _splits(), map_fn, reduce_fn))
+        assert result.counters["seen"] == 200
+        assert result.counters["groups"] == 2
+
+    def test_combiner_reduces_shuffle_volume(self, runner):
+        def map_fn(split, ctx):
+            for v in split.payload:
+                yield v % 2, 1
+
+        def combiner(key, values, ctx):
+            yield key, sum(values)
+
+        def reduce_fn(key, values, ctx):
+            yield key, sum(values)
+
+        plain = runner.run(Job("plain", _splits(), map_fn, reduce_fn))
+        combined = runner.run(Job("comb", _splits(), map_fn, reduce_fn,
+                                  combiner_fn=combiner))
+        assert sorted(plain.outputs) == sorted(combined.outputs)
+        assert combined.shuffle_bytes < plain.shuffle_bytes
+
+    def test_map_failure_wrapped(self, runner):
+        def bad_map(split, ctx):
+            raise ValueError("boom")
+            yield  # pragma: no cover
+
+        with pytest.raises(TaskFailedError, match="map task 0"):
+            runner.run(Job("bad", _splits(1), bad_map, None))
+
+    def test_reduce_failure_wrapped(self, runner):
+        def map_fn(split, ctx):
+            yield 1, 1
+
+        def bad_reduce(key, values, ctx):
+            raise RuntimeError("kaput")
+            yield  # pragma: no cover
+
+        with pytest.raises(TaskFailedError, match="reduce task"):
+            runner.run(Job("bad", _splits(1), map_fn, bad_reduce))
+
+    def test_empty_splits(self, runner):
+        result = runner.run(Job("empty", [], lambda s, c: iter(()), None))
+        assert result.outputs == []
+        assert result.num_map_tasks == 0
+
+    def test_history_recorded(self, runner):
+        runner.run(Job("a", _splits(1), lambda s, c: iter(()), None))
+        runner.run(Job("b", _splits(1), lambda s, c: iter(()), None))
+        assert [r.name for r in runner.history] == ["a", "b"]
+
+
+class TestTiming:
+    def test_job_includes_startup(self, runner):
+        result = runner.run(Job("t", _splits(1),
+                                lambda s, c: iter(()), None))
+        assert result.sim_seconds >= runner.cluster.profile.job_startup_s
+
+    def test_more_io_means_longer_job(self):
+        cluster = Cluster(ClusterProfile.laptop())
+        runner = JobRunner(cluster)
+
+        def cheap(split, ctx):
+            return iter(())
+
+        def expensive(split, ctx):
+            ctx.cluster.charge_hdfs_read(10_000_000)
+            return iter(())
+
+        fast = runner.run(Job("fast", _splits(2), cheap, None))
+        slow = runner.run(Job("slow", _splits(2), expensive, None))
+        assert slow.sim_seconds > fast.sim_seconds
+
+    def test_hbase_time_serialized_not_parallelized(self):
+        """HBase charges add to the job serially (shared region servers)."""
+        profile = ClusterProfile(name="t", num_workers=4,
+                                 map_slots_per_node=6,
+                                 job_startup_s=0.0, task_overhead_s=0.0,
+                                 hbase_write_bps=1024 * 1024,
+                                 hbase_op_latency_s=0.0)
+        runner = JobRunner(Cluster(profile))
+
+        def map_fn(split, ctx):
+            ctx.cluster.charge_hbase_write(1024 * 1024)    # 1s each
+            return iter(())
+
+        result = runner.run(Job("hb", _splits(8), map_fn, None))
+        # 8 tasks x 1s of HBase time: parallel would be ~1s; serialized is 8.
+        assert result.sim_seconds == pytest.approx(8.0, abs=0.2)
+
+    def test_hdfs_time_parallelized_over_slots(self):
+        profile = ClusterProfile(name="t", num_workers=4,
+                                 map_slots_per_node=2,
+                                 job_startup_s=0.0, task_overhead_s=0.0,
+                                 hdfs_read_bps=8 * 1024 * 1024)
+        runner = JobRunner(Cluster(profile))
+
+        def map_fn(split, ctx):
+            # 1 MB at a per-slot rate of 1 MB/s -> 1s per task.
+            ctx.cluster.charge_hdfs_read(1024 * 1024)
+            return iter(())
+
+        result = runner.run(Job("io", _splits(8), map_fn, None))
+        # 8 tasks over 8 slots in one wave -> ~1s.
+        assert result.sim_seconds == pytest.approx(1.0, abs=0.2)
+
+
+class TestMakespan:
+    def test_single_slot_is_sum(self):
+        assert _makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_enough_slots_is_max(self):
+        assert _makespan([1.0, 2.0, 3.0], 3) == 3.0
+
+    def test_two_slots_greedy(self):
+        # FIFO onto earliest-free slot: [3] and [1,2] -> makespan 3.
+        assert _makespan([3.0, 1.0, 2.0], 2) == 3.0
+
+    def test_empty(self):
+        assert _makespan([], 4) == 0.0
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+
+    def test_distinct(self):
+        values = {stable_hash(("key", i)) for i in range(100)}
+        assert len(values) > 90
+
+    def test_handles_mixed_types(self):
+        for key in (None, 1.5, "x", (1, "a", None), True):
+            assert isinstance(stable_hash(key), int)

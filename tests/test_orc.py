@@ -1,0 +1,241 @@
+"""Tests for the ORC-like columnar format: encodings, writer, reader."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, ClusterProfile
+from repro.common.errors import CorruptOrcFileError, OrcError
+from repro.hdfs import HdfsFileSystem
+from repro.orc import OrcReader, OrcWriter, write_orc
+from repro.orc.encodings import (decode_boolean_column, decode_double_column,
+                                 decode_int_column, decode_string_column,
+                                 encode_boolean_column, encode_double_column,
+                                 encode_int_column, encode_string_column)
+
+
+# ----------------------------------------------------------------------
+# Encodings: round-trip properties.
+# ----------------------------------------------------------------------
+int_values = st.lists(st.one_of(st.none(),
+                                st.integers(-2**50, 2**50)), max_size=300)
+double_values = st.lists(
+    st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+    max_size=200)
+string_values = st.lists(st.one_of(st.none(), st.text(max_size=20)),
+                         max_size=200)
+bool_values = st.lists(st.one_of(st.none(), st.booleans()), max_size=200)
+
+
+class TestEncodings:
+    @given(int_values)
+    @settings(max_examples=60)
+    def test_int_roundtrip(self, values):
+        assert decode_int_column(encode_int_column(values)) == values
+
+    @given(double_values)
+    @settings(max_examples=40)
+    def test_double_roundtrip(self, values):
+        assert decode_double_column(encode_double_column(values)) == values
+
+    @given(string_values)
+    @settings(max_examples=40)
+    def test_string_roundtrip(self, values):
+        assert decode_string_column(encode_string_column(values)) == values
+
+    @given(bool_values)
+    @settings(max_examples=40)
+    def test_boolean_roundtrip(self, values):
+        assert decode_boolean_column(encode_boolean_column(values)) == values
+
+    def test_int_rle_compresses_runs(self):
+        run = list(range(10000))                 # perfect delta run
+        random_ish = [((i * 2654435761) % 99991) - 50000
+                      for i in range(10000)]
+        assert len(encode_int_column(run)) < len(
+            encode_int_column(random_ish)) / 5
+
+    def test_string_dictionary_compresses_repeats(self):
+        repeats = ["alpha", "beta", "gamma"] * 1000
+        unique = ["s%d" % i for i in range(3000)]
+        assert len(encode_string_column(repeats)) < len(
+            encode_string_column(unique)) / 3
+
+    def test_all_null_columns(self):
+        nulls = [None] * 50
+        assert decode_int_column(encode_int_column(nulls)) == nulls
+        assert decode_string_column(encode_string_column(nulls)) == nulls
+
+    def test_empty_columns(self):
+        assert decode_int_column(encode_int_column([])) == []
+        assert decode_double_column(encode_double_column([])) == []
+
+
+# ----------------------------------------------------------------------
+# Writer/reader.
+# ----------------------------------------------------------------------
+SCHEMA = [("id", "int"), ("name", "string"), ("score", "double"),
+          ("flag", "boolean")]
+
+
+def _rows(n):
+    return [(i, "name%d" % (i % 7), i * 1.5, i % 2 == 0) for i in range(n)]
+
+
+class TestWriter:
+    def test_roundtrip_bytes(self):
+        rows = _rows(100)
+        data = write_orc(SCHEMA, rows, stripe_rows=30)
+        reader = OrcReader(data)
+        assert [v for _, v in reader.rows()] == rows
+
+    def test_row_numbers_sequential(self):
+        data = write_orc(SCHEMA, _rows(75), stripe_rows=20)
+        reader = OrcReader(data)
+        assert [rn for rn, _ in reader.rows()] == list(range(75))
+
+    def test_stripe_count(self):
+        data = write_orc(SCHEMA, _rows(100), stripe_rows=30)
+        reader = OrcReader(data)
+        assert len(reader.stripes) == 4       # 30+30+30+10
+        assert [s.num_rows for s in reader.stripes] == [30, 30, 30, 10]
+
+    def test_metadata_carried(self):
+        data = write_orc(SCHEMA, _rows(5), metadata={"file_id": 42})
+        assert OrcReader(data).metadata["file_id"] == 42
+
+    def test_empty_file(self):
+        data = write_orc(SCHEMA, [])
+        reader = OrcReader(data)
+        assert reader.num_rows == 0
+        assert reader.read_all() == []
+
+    def test_arity_mismatch_rejected(self):
+        writer = OrcWriter(SCHEMA)
+        with pytest.raises(OrcError):
+            writer.write_row((1, "x"))
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(OrcError):
+            OrcWriter([("a", "blob")])
+        with pytest.raises(OrcError):
+            OrcWriter([])
+
+    def test_finish_twice_rejected(self):
+        writer = OrcWriter(SCHEMA)
+        writer.finish()
+        with pytest.raises(OrcError):
+            writer.finish()
+
+    def test_write_after_finish_rejected(self):
+        writer = OrcWriter(SCHEMA)
+        writer.finish()
+        with pytest.raises(OrcError):
+            writer.write_row((1, "a", 1.0, True))
+
+
+class TestStatistics:
+    def test_stripe_stats_min_max(self):
+        data = write_orc(SCHEMA, _rows(60), stripe_rows=20)
+        reader = OrcReader(data)
+        first = reader.stripes[0]
+        assert first.stats(0)["min"] == 0
+        assert first.stats(0)["max"] == 19
+        assert reader.stripes[2].stats(0)["min"] == 40
+
+    def test_stats_include_nulls_and_ndv(self):
+        rows = [(None, "a", 1.0, True), (3, "a", None, None),
+                (5, "b", 2.0, False)]
+        data = write_orc(SCHEMA, rows)
+        stats = OrcReader(data).stripes[0].stats(0)
+        assert stats["nulls"] == 1
+        assert stats["min"] == 3 and stats["max"] == 5
+        assert stats["ndv"] == 2
+        assert OrcReader(data).stripes[0].stats(1)["ndv"] == 2
+
+    def test_numeric_sum(self):
+        data = write_orc(SCHEMA, _rows(10))
+        stats = OrcReader(data).stripes[0].stats(0)
+        assert stats["sum"] == sum(range(10))
+
+    def test_file_level_stats_merged(self):
+        data = write_orc(SCHEMA, _rows(60), stripe_rows=20)
+        reader = OrcReader(data)
+        file_stats = reader.column_stats[0]
+        assert file_stats["min"] == 0
+        assert file_stats["max"] == 59
+        assert file_stats["count"] == 60
+
+
+class TestProjectionAndPruning:
+    def test_projection_returns_requested_columns(self):
+        data = write_orc(SCHEMA, _rows(10))
+        rows = OrcReader(data).read_all(projection=["score", "id"])
+        assert rows[2][1] == (3.0, 2)
+
+    def test_unknown_projection_column_fails(self):
+        data = write_orc(SCHEMA, _rows(3))
+        with pytest.raises(CorruptOrcFileError):
+            OrcReader(data).read_all(projection=["nope"])
+
+    def test_stripe_filter_skips(self):
+        data = write_orc(SCHEMA, _rows(100), stripe_rows=25)
+        reader = OrcReader(data)
+        got = reader.read_all(
+            projection=["id"],
+            stripe_filter=lambda s: s.stats(0)["min"] >= 50)
+        assert [rn for rn, _ in got] == list(range(50, 100))
+
+    def test_projected_bytes_less_than_full(self):
+        data = write_orc(SCHEMA, _rows(1000), stripe_rows=100)
+        reader = OrcReader(data)
+        one = reader.projected_bytes(["id"])
+        full = reader.projected_bytes(None)
+        assert 0 < one < full
+
+    def test_projection_charging(self):
+        cluster = Cluster(ClusterProfile.laptop())
+        fs = HdfsFileSystem(cluster)
+        fs.write_file("/t/f.orc", write_orc(SCHEMA, _rows(2000),
+                                            stripe_rows=200))
+        reader = OrcReader(fs, "/t/f.orc")
+        base = cluster.ledger.bytes_for("hdfs", "read")
+        reader.read_all(projection=["id"])
+        narrow = cluster.ledger.bytes_for("hdfs", "read") - base
+        reader2 = OrcReader(fs, "/t/f.orc")
+        base = cluster.ledger.bytes_for("hdfs", "read")
+        reader2.read_all()
+        wide = cluster.ledger.bytes_for("hdfs", "read") - base
+        assert narrow < wide
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(CorruptOrcFileError):
+            OrcReader(b"this is not an orc file at all..........")
+
+    def test_truncated_file(self):
+        data = write_orc(SCHEMA, _rows(10))
+        with pytest.raises(CorruptOrcFileError):
+            OrcReader(data[:len(data) // 2])
+
+    def test_garbage_footer(self):
+        data = bytearray(write_orc(SCHEMA, _rows(10)))
+        data[-30] ^= 0xFF
+        with pytest.raises(CorruptOrcFileError):
+            OrcReader(bytes(data))
+
+
+@given(st.lists(st.tuples(
+    st.one_of(st.none(), st.integers(-10**9, 10**9)),
+    st.one_of(st.none(), st.text(max_size=12)),
+    st.one_of(st.none(),
+              st.floats(allow_nan=False, allow_infinity=False,
+                        width=32)),
+    st.one_of(st.none(), st.booleans())), max_size=120))
+@settings(max_examples=30)
+def test_orc_file_roundtrip_property(rows):
+    """Whole-file invariant: write → read == identity (arbitrary rows)."""
+    data = write_orc(SCHEMA, rows, stripe_rows=17)
+    got = [v for _, v in OrcReader(data).rows()]
+    assert got == rows

@@ -1,0 +1,243 @@
+"""Tests for Hive-style partitioned ORC tables."""
+
+import pytest
+
+from repro.cluster import ClusterProfile
+from repro.common.errors import AnalysisError
+from repro.hive import HiveSession
+
+
+@pytest.fixture
+def session():
+    return HiveSession(profile=ClusterProfile.laptop())
+
+
+def make_table(session, days=5, per_day=60):
+    session.execute(
+        "CREATE TABLE m (id int, v double) PARTITIONED BY (day string) "
+        "STORED AS ORC TBLPROPERTIES ('orc.rows_per_file' = '40', "
+        "'orc.stripe_rows' = '10')")
+    rows = [(i, float(i), "2013-07-%02d" % (1 + i % days))
+            for i in range(days * per_day)]
+    session.load_rows("m", rows)
+    return session.table("m").handler, rows
+
+
+class TestLayout:
+    def test_one_directory_per_partition(self, session):
+        handler, _ = make_table(session)
+        keys = [key for key, _ in handler.partitions()]
+        assert keys == [("2013-07-%02d" % d,) for d in range(1, 6)]
+
+    def test_partition_values_not_stored_in_files(self, session):
+        handler, _ = make_table(session)
+        _, directory = handler.partitions()[0]
+        from repro.orc import OrcReader
+        reader = OrcReader(session.fs, handler._partition_files(directory)[0])
+        assert [n for n, _ in reader.schema] == ["id", "v"]
+
+    def test_dynamic_partition_insert(self, session):
+        make_table(session)
+        session.execute(
+            "INSERT INTO m VALUES (999, 1.0, '2013-08-01')")
+        handler = session.table("m").handler
+        keys = [key for key, _ in handler.partitions()]
+        assert ("2013-08-01",) in keys
+
+    def test_partitioned_by_requires_orc(self, session):
+        with pytest.raises(AnalysisError):
+            session.execute(
+                "CREATE TABLE bad (a int) PARTITIONED BY (p string) "
+                "STORED AS DUALTABLE")
+
+    def test_special_characters_in_values(self, session):
+        session.execute("CREATE TABLE t (a int) PARTITIONED BY (p string)")
+        session.load_rows("t", [(1, "a/b=c"), (2, "plain")])
+        got = session.execute(
+            "SELECT a FROM t WHERE p = 'a/b=c'")
+        assert got.rows == [(1,)]
+
+    def test_multi_column_partitioning(self, session):
+        session.execute("CREATE TABLE t (a int) "
+                        "PARTITIONED BY (y int, m int)")
+        session.load_rows("t", [(1, 2013, 7), (2, 2013, 8), (3, 2014, 7)])
+        handler = session.table("t").handler
+        assert [k for k, _ in handler.partitions()] == [
+            (2013, 7), (2013, 8), (2014, 7)]
+        got = session.execute("SELECT a FROM t WHERE y = 2013 AND m = 8")
+        assert got.rows == [(2,)]
+
+
+class TestQueries:
+    def test_partition_column_queryable(self, session):
+        make_table(session)
+        result = session.execute(
+            "SELECT day, count(*) c FROM m GROUP BY day ORDER BY day")
+        assert len(result.rows) == 5
+        assert all(c == 60 for _, c in result.rows)
+
+    def test_select_star_includes_partition_column(self, session):
+        _, rows = make_table(session)
+        got = session.execute("SELECT * FROM m").rows
+        assert sorted(got) == sorted(rows)
+
+    def test_partition_pruning_reduces_cost(self, session):
+        make_table(session)
+        full = session.execute("SELECT sum(v) FROM m")
+        pruned = session.execute(
+            "SELECT sum(v) FROM m WHERE day = '2013-07-03'")
+        assert pruned.sim_seconds < full.sim_seconds
+
+    def test_pruning_is_sound(self, session):
+        _, rows = make_table(session)
+        got = session.execute(
+            "SELECT id FROM m WHERE day >= '2013-07-04'").rows
+        expect = [(r[0],) for r in rows if r[2] >= "2013-07-04"]
+        assert sorted(got) == sorted(expect)
+
+    def test_partition_only_projection(self, session):
+        make_table(session)
+        got = session.execute("SELECT day FROM m WHERE day = '2013-07-01'")
+        assert got.rows == [("2013-07-01",)] * 60
+
+    def test_join_on_partition_column(self, session):
+        make_table(session)
+        session.execute("CREATE TABLE ref (day string, label string)")
+        session.load_rows("ref", [("2013-07-02", "two")])
+        got = session.execute(
+            "SELECT count(*), r.label FROM m "
+            "JOIN ref r ON m.day = r.day GROUP BY r.label")
+        assert got.rows == [(60, "two")]
+
+
+class TestPartitionScopedDml:
+    def test_update_rewrites_only_affected_partitions(self, session):
+        handler, _ = make_table(session)
+        untouched_dir = handler._partition_dir(("2013-07-01",))
+        files_before = handler._partition_files(untouched_dir)
+        result = session.execute(
+            "UPDATE m SET v = -1 WHERE day = '2013-07-02'")
+        assert result.affected == 60
+        assert handler._partition_files(untouched_dir) == files_before
+        assert session.execute(
+            "SELECT count(*) FROM m WHERE v = -1").scalar() == 60
+        assert session.execute("SELECT count(*) FROM m").scalar() == 300
+
+    def test_partition_update_cheaper_than_unpartitioned(self):
+        times = {}
+        for label, ddl in (
+                ("flat", "CREATE TABLE m (id int, v double, day string) "
+                         "STORED AS ORC"),
+                ("partitioned",
+                 "CREATE TABLE m (id int, v double) "
+                 "PARTITIONED BY (day string) STORED AS ORC")):
+            session = HiveSession(profile=ClusterProfile.laptop())
+            session.execute(ddl)
+            rows = [(i, float(i), "2013-07-%02d" % (1 + i % 10))
+                    for i in range(1000)]
+            session.load_rows("m", rows)
+            result = session.execute(
+                "UPDATE m SET v = 0 WHERE day = '2013-07-01'")
+            times[label] = result.sim_seconds
+        assert times["partitioned"] < times["flat"]
+
+    def test_update_within_partition_still_works(self, session):
+        make_table(session)
+        result = session.execute(
+            "UPDATE m SET v = -5 WHERE day = '2013-07-02' AND id < 20")
+        assert result.affected == len(
+            [i for i in range(300) if i % 5 == 1 and i < 20])
+        # rows of the partition not matching the row predicate survive
+        assert session.execute(
+            "SELECT count(*) FROM m WHERE day = '2013-07-02'"
+        ).scalar() == 60
+
+    def test_delete_whole_partition_removes_directory(self, session):
+        handler, _ = make_table(session)
+        result = session.execute(
+            "DELETE FROM m WHERE day = '2013-07-04'")
+        assert result.affected == 60
+        assert ("2013-07-04",) not in [k for k, _ in handler.partitions()]
+        assert session.execute("SELECT count(*) FROM m").scalar() == 240
+
+    def test_delete_without_partition_predicate(self, session):
+        make_table(session)
+        result = session.execute("DELETE FROM m WHERE id < 10")
+        assert result.affected == 10
+        assert session.execute("SELECT count(*) FROM m").scalar() == 290
+
+    def test_insert_overwrite_replaces_everything(self, session):
+        make_table(session)
+        session.execute(
+            "INSERT OVERWRITE TABLE m VALUES (1, 1.0, '2099-01-01')")
+        assert session.execute("SELECT count(*) FROM m").scalar() == 1
+
+
+class TestDropPartition:
+    def test_drop_partition(self, session):
+        make_table(session)
+        result = session.execute(
+            "ALTER TABLE m DROP PARTITION (day = '2013-07-05')")
+        assert result.affected == 1
+        assert session.execute("SELECT count(*) FROM m").scalar() == 240
+
+    def test_drop_missing_partition(self, session):
+        make_table(session)
+        result = session.execute(
+            "ALTER TABLE m DROP PARTITION (day = '2099-12-31')")
+        assert result.affected == 0
+
+    def test_drop_partition_on_unpartitioned_table(self, session):
+        session.execute("CREATE TABLE plain (a int)")
+        with pytest.raises(AnalysisError):
+            session.execute("ALTER TABLE plain DROP PARTITION (a = 1)")
+
+    def test_drop_partition_requires_all_columns(self, session):
+        session.execute("CREATE TABLE t (a int) "
+                        "PARTITIONED BY (y int, m int)")
+        with pytest.raises(AnalysisError):
+            session.execute("ALTER TABLE t DROP PARTITION (y = 2013)")
+
+
+class TestPartitionStatements:
+    def test_show_partitions(self, session):
+        make_table(session, days=3)
+        result = session.execute("SHOW PARTITIONS m")
+        assert result.rows == [("day=2013-07-%02d" % d,)
+                               for d in range(1, 4)]
+
+    def test_show_partitions_unpartitioned(self, session):
+        session.execute("CREATE TABLE plain (a int)")
+        with pytest.raises(AnalysisError):
+            session.execute("SHOW PARTITIONS plain")
+
+    def test_static_partition_insert_values(self, session):
+        make_table(session)
+        session.execute(
+            "INSERT INTO m PARTITION (day = '2099-01-01') "
+            "VALUES (1, 1.0), (2, 2.0)")
+        assert session.execute(
+            "SELECT count(*) FROM m WHERE day = '2099-01-01'").scalar() == 2
+
+    def test_static_partition_insert_select(self, session):
+        make_table(session)
+        session.execute("CREATE TABLE src (id int, v double)")
+        session.load_rows("src", [(7, 7.0)])
+        session.execute("INSERT INTO m PARTITION (day = '2099-02-02') "
+                        "SELECT id, v FROM src")
+        got = session.execute(
+            "SELECT id FROM m WHERE day = '2099-02-02'")
+        assert got.rows == [(7,)]
+
+    def test_partition_spec_on_unpartitioned_rejected(self, session):
+        session.execute("CREATE TABLE plain (a int)")
+        with pytest.raises(AnalysisError):
+            session.execute(
+                "INSERT INTO plain PARTITION (p = 'x') VALUES (1)")
+
+    def test_partition_spec_missing_column_rejected(self, session):
+        session.execute("CREATE TABLE t (a int) "
+                        "PARTITIONED BY (y int, m int)")
+        with pytest.raises(AnalysisError):
+            session.execute(
+                "INSERT INTO t PARTITION (y = 2013) VALUES (1)")

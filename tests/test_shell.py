@@ -1,0 +1,113 @@
+"""Tests for the interactive SQL shell."""
+
+import io
+
+import pytest
+
+from repro.cluster import ClusterProfile
+from repro.hive import HiveSession
+from repro.hive.shell import HiveShell
+
+
+@pytest.fixture
+def shell():
+    session = HiveSession(profile=ClusterProfile.laptop())
+    out = io.StringIO()
+    return HiveShell(session=session, out=out), out
+
+
+class TestHandleLine:
+    def test_ddl_and_dml_flow(self, shell):
+        sh, out = shell
+        assert sh.handle_line("CREATE TABLE t (a int) STORED AS DUALTABLE;")
+        assert sh.handle_line("INSERT INTO t VALUES (1), (2);")
+        assert sh.handle_line("SELECT count(*) FROM t;")
+        text = out.getvalue()
+        assert "OK" in text
+        assert "2 row(s) affected" in text
+        assert "count_0" in text
+
+    def test_error_reported_not_raised(self, shell):
+        sh, out = shell
+        assert sh.handle_line("SELECT * FROM missing;")
+        assert "ERROR" in out.getvalue()
+
+    def test_parse_error_reported(self, shell):
+        sh, out = shell
+        assert sh.handle_line("FROB the table;")
+        assert "ERROR" in out.getvalue()
+
+    def test_quit_returns_false(self, shell):
+        sh, _ = shell
+        assert sh.handle_line("quit") is False
+        assert sh.handle_line("EXIT") is False
+
+    def test_empty_line_noop(self, shell):
+        sh, out = shell
+        assert sh.handle_line("   ;")
+        assert out.getvalue() == ""
+
+    def test_row_output_capped(self, shell):
+        sh, out = shell
+        sh.handle_line("CREATE TABLE t (a int);")
+        sh.session.load_rows("t", [(i,) for i in range(150)])
+        sh.handle_line("SELECT a FROM t;")
+        assert "more rows" in out.getvalue()
+
+
+class TestShellCommands:
+    def test_tables(self, shell):
+        sh, out = shell
+        sh.handle_line("!tables")
+        assert "(no tables)" in out.getvalue()
+        sh.handle_line("CREATE TABLE t (a int) STORED AS ACID;")
+        sh.handle_line("!tables")
+        assert "acid" in out.getvalue()
+
+    def test_ledger(self, shell):
+        sh, out = shell
+        sh.handle_line("CREATE TABLE t (a int);")
+        sh.handle_line("INSERT INTO t VALUES (1);")
+        sh.handle_line("!ledger")
+        assert "total simulated seconds" in out.getvalue()
+
+    def test_scale(self, shell):
+        sh, out = shell
+        sh.handle_line("!scale 5000")
+        assert sh.session.cluster.profile.byte_scale == 5000
+        assert sh.session.cluster.profile.op_scale == 5000
+
+    def test_help_and_unknown(self, shell):
+        sh, out = shell
+        sh.handle_line("!help")
+        assert "Shell commands" in out.getvalue()
+        sh.handle_line("!bogus")
+        assert "unknown shell command" in out.getvalue()
+
+
+class TestRunLoop:
+    def test_scripted_session(self):
+        session = HiveSession(profile=ClusterProfile.laptop())
+        out = io.StringIO()
+        shell = HiveShell(session=session, out=out)
+        script = io.StringIO(
+            "CREATE TABLE t (a int, b string) STORED AS DUALTABLE;\n"
+            "INSERT INTO t VALUES (1, 'x');\n"
+            "UPDATE t\n"
+            "SET b = 'y'\n"
+            "WHERE a = 1;\n"
+            "SELECT b FROM t;\n"
+            "quit\n")
+        shell.run(stdin=script)
+        text = out.getvalue()
+        assert "1 row(s) affected" in text
+        assert "y" in text
+        assert "bye" in text
+
+    def test_multiline_statement_accumulates(self):
+        session = HiveSession(profile=ClusterProfile.laptop())
+        out = io.StringIO()
+        shell = HiveShell(session=session, out=out)
+        shell.run(stdin=io.StringIO(
+            "CREATE TABLE t\n(a int);\nSELECT 1\n+ 2;\n"))
+        assert "3" in out.getvalue()

@@ -1,0 +1,110 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.svg import (_parse_x, render_bar_chart, render_figure,
+                             render_line_chart)
+
+
+def sweep_result():
+    return ExperimentResult(
+        experiment="figX", title="Sweep",
+        columns=["ratio", "Hive(HDFS)", "DualTable EDIT",
+                 "cost_model_plan"],
+        rows=[("1%", 100.0, 40.0, "edit"),
+              ("25%", 99.0, 120.0, "edit"),
+              ("50%", 98.0, 200.0, "overwrite")])
+
+
+def bar_result():
+    return ExperimentResult(
+        experiment="figY", title="Bars",
+        columns=["system", "query", "sim_seconds"],
+        rows=[("Hive", "q1", 10.0), ("Hive", "q2", 20.0),
+              ("DualTable", "q1", 11.0), ("DualTable", "q2", 21.0)])
+
+
+class TestParseX:
+    def test_percent(self):
+        assert _parse_x("25%") == 0.25
+
+    def test_fraction(self):
+        assert _parse_x("9/36") == 0.25
+
+    def test_plain_number(self):
+        assert _parse_x("0.4") == 0.4
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = render_line_chart(sweep_result())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_numeric_series(self):
+        svg = render_line_chart(sweep_result())
+        assert svg.count("<polyline") == 2
+
+    def test_title_and_legend_present(self):
+        svg = render_line_chart(sweep_result())
+        assert "Sweep" in svg
+        assert "Hive(HDFS)" in svg
+        assert "DualTable EDIT" in svg
+
+    def test_plan_column_excluded(self):
+        svg = render_line_chart(sweep_result())
+        assert "cost_model_plan" not in svg
+
+    def test_xml_escaping(self):
+        result = sweep_result()
+        result.title = "a < b & c"
+        root = ET.fromstring(render_line_chart(result))
+        assert root is not None
+
+
+class TestBarChart:
+    def test_valid_xml_with_bars(self):
+        svg = render_bar_chart(bar_result())
+        ET.fromstring(svg)
+        # one leading background rect + 4 value bars + 2 legend swatches
+        assert svg.count("<rect") == 1 + 4 + 2
+
+    def test_group_labels_present(self):
+        svg = render_bar_chart(bar_result())
+        assert "Hive" in svg and "DualTable" in svg
+
+
+class TestDispatch:
+    def test_sweep_becomes_line_chart(self):
+        assert "<polyline" in render_figure(sweep_result())
+
+    def test_categorical_becomes_bar_chart(self):
+        svg = render_figure(bar_result())
+        assert "<polyline" not in svg and "<rect" in svg
+
+    def test_unchartable_returns_none(self):
+        result = ExperimentResult(
+            experiment="t", title="t", columns=["a", "b"],
+            rows=[(1, 2)])
+        assert render_figure(result) is None
+
+    def test_empty_returns_none(self):
+        result = ExperimentResult(experiment="t", title="t",
+                                  columns=["a"], rows=[])
+        assert render_figure(result) is None
+
+    @pytest.mark.parametrize("name", ["fig5", "fig13", "fig15"])
+    def test_real_sweeps_render(self, name):
+        from repro.bench.experiments import EXPERIMENTS
+        result = EXPERIMENTS[name](scale="tiny")
+        svg = render_figure(result)
+        ET.fromstring(svg)
+
+    def test_cli_svg_flag(self, tmp_path):
+        from repro.bench.cli import main
+        assert main(["fig4", "--scale", "tiny",
+                     "--svg", str(tmp_path)]) == 0
+        assert (tmp_path / "fig4.svg").exists()

@@ -1,0 +1,184 @@
+"""Tests for the workload generators: TPC-H, smart grid, DML stats."""
+
+import pytest
+
+from repro.cluster import ClusterProfile
+from repro.hive import HiveSession
+from repro.hive.parser import parse
+from repro.workloads import dml_stats, smartgrid, tpch
+
+
+@pytest.fixture
+def session():
+    return HiveSession(profile=ClusterProfile.laptop())
+
+
+class TestTpchGenerators:
+    def test_deterministic(self):
+        a = tpch.generate_lineitem(50, seed=1)
+        b = tpch.generate_lineitem(50, seed=1)
+        assert a == b
+        assert tpch.generate_lineitem(50, seed=2) != a
+
+    def test_orders_one_per_key(self):
+        rows = tpch.generate_orders(30)
+        assert [r[0] for r in rows] == list(range(1, 31))
+
+    def test_lineitem_arity_matches_schema(self):
+        rows = tpch.generate_lineitem(10)
+        assert all(len(r) == len(tpch.LINEITEM_COLUMNS) for r in rows)
+
+    def test_lineitem_date_invariants(self):
+        schema = [n for n, _ in tpch.LINEITEM_COLUMNS]
+        ship = schema.index("l_shipdate")
+        receipt = schema.index("l_receiptdate")
+        for row in tpch.generate_lineitem(60):
+            assert row[receipt] > row[ship]
+
+    def test_returnflag_consistent_with_receiptdate(self):
+        schema = [n for n, _ in tpch.LINEITEM_COLUMNS]
+        flag = schema.index("l_returnflag")
+        receipt = schema.index("l_receiptdate")
+        for row in tpch.generate_lineitem(80):
+            if row[receipt] <= "1995-06-17":
+                assert row[flag] in ("R", "A")
+            else:
+                assert row[flag] == "N"
+
+    def test_partkey_threshold_ratio(self):
+        rows = tpch.generate_lineitem(400)
+        schema = [n for n, _ in tpch.LINEITEM_COLUMNS]
+        partkey = schema.index("l_partkey")
+        threshold = tpch.partkey_threshold(0.2)
+        hit = sum(1 for r in rows if r[partkey] <= threshold)
+        assert hit / len(rows) == pytest.approx(0.2, abs=0.05)
+
+    def test_statements_parse(self):
+        for sql in (tpch.QUERY_A_Q1, tpch.QUERY_B_Q12, tpch.QUERY_C_COUNT,
+                    tpch.dml_a_sql(), tpch.dml_b_sql(), tpch.dml_c_sql(100),
+                    tpch.update_ratio_sql(0.3), tpch.delete_ratio_sql(0.3),
+                    tpch.create_table_sql("lineitem", "dualtable",
+                                          {"k": "v"})):
+            parse(sql)
+
+    def test_row_cache_returns_same_object(self):
+        a = tpch.tpch_rows_cached("orders", 20)
+        b = tpch.tpch_rows_cached("orders", 20)
+        assert a is b
+
+
+class TestTpchQueries:
+    def test_q1_results_match_manual_computation(self, session):
+        tpch.load_tpch(session, 80, tables=("lineitem",))
+        result = session.execute(tpch.QUERY_A_Q1)
+        schema = [n for n, _ in tpch.LINEITEM_COLUMNS]
+        rows = tpch.generate_lineitem(80)
+        ship = schema.index("l_shipdate")
+        qty = schema.index("l_quantity")
+        flag, status = (schema.index("l_returnflag"),
+                        schema.index("l_linestatus"))
+        manual = {}
+        for row in rows:
+            if row[ship] <= "1998-09-02":
+                key = (row[flag], row[status])
+                manual.setdefault(key, []).append(row[qty])
+        for out in result.rows:
+            key = (out[0], out[1])
+            assert out[2] == pytest.approx(sum(manual[key]))
+            assert out[9] == len(manual[key])
+
+    def test_q12_runs_and_groups_by_shipmode(self, session):
+        tpch.load_tpch(session, 120)
+        result = session.execute(tpch.QUERY_B_Q12)
+        modes = [r[0] for r in result.rows]
+        assert modes == sorted(modes)
+        assert set(modes) <= {"MAIL", "SHIP"}
+
+    def test_dml_c_updates_about_16_percent(self, session):
+        tpch.load_tpch(session, 100)
+        result = session.execute(tpch.dml_c_sql(100))
+        assert result.affected == 16
+
+
+class TestGridGenerators:
+    def test_every_table_generates_with_declared_schema(self):
+        for table, generator in smartgrid.GENERATORS.items():
+            rows = generator(120)
+            assert len(rows) == 120 or table == "tj_gbsjwzl_mx"
+            width = len(smartgrid.SCHEMAS[table])
+            assert all(len(r) == width for r in rows)
+
+    def test_mx_table_sorted_by_date(self):
+        rows = smartgrid.generate_tj_gbsjwzl_mx(720)
+        days = [r[1] for r in rows]
+        assert days == sorted(days)
+        assert set(days) == set(smartgrid.GRID_DAYS)
+
+    def test_sjwzl_y_sorted(self):
+        rows = smartgrid.generate_tj_sjwzl_y(300)
+        assert [r[0] for r in rows] == sorted(r[0] for r in rows)
+
+    def test_scaled_rows_floor(self):
+        assert smartgrid.scaled_rows("tj_sjwzl_y", 1e-9) == 200
+        assert smartgrid.scaled_rows("tj_gbsjwzl_mx", 1e-5) == 2390
+
+    def test_statement_ratios_close_to_paper(self):
+        """Every Table IV statement selects ~its declared ratio."""
+        checks = {
+            "U#1": ("tj_tdjl", lambda r: r[0] == smartgrid.OUTAGE_TIMES[0]),
+            "U#2": ("tj_td", lambda r: r[0] < r[1]),
+            "U#3": ("tj_sjwzl_r",
+                    lambda r: r[0] == smartgrid.MONTH_DAYS[10]
+                    and r[2] == smartgrid.USER_TYPES[3]),
+            "U#4": ("tj_dysjwzl_mx",
+                    lambda r: r[0] == smartgrid.GRID_DAYS[4]
+                    and r[3] == smartgrid.USER_TYPES[1]),
+            "D#1": ("tj_sjwzl_y",
+                    lambda r: "2012-03-01" <= r[0] <= "2012-03-30"),
+            "D#2": ("tj_tdjl", lambda r: r[1] == smartgrid.ORG_CODES[2]),
+            "D#3": ("tj_gk",
+                    lambda r: r[1] == smartgrid.ORG_CODES[5] and r[2] == 1),
+        }
+        declared = {s["id"]: s["ratio"]
+                    for s in smartgrid.TABLE4_STATEMENTS}
+        for stmt_id, (table, predicate) in checks.items():
+            rows = smartgrid.GENERATORS[table](20000)
+            ratio = sum(1 for r in rows if predicate(r)) / len(rows)
+            assert ratio == pytest.approx(declared[stmt_id],
+                                          rel=0.5, abs=0.005), stmt_id
+
+    def test_all_statements_parse(self):
+        parse(smartgrid.GRID_QUERY_1)
+        parse(smartgrid.GRID_QUERY_2)
+        parse(smartgrid.update_days_sql(3))
+        parse(smartgrid.delete_days_sql(17))
+        parse(smartgrid.FOLLOWING_SELECT_SQL)
+        for stmt in smartgrid.TABLE4_STATEMENTS:
+            parse(stmt["sql"])
+
+    def test_update_days_sql_selects_right_fraction(self, session):
+        smartgrid.load_grid_table(session, "tj_gbsjwzl_mx", 720)
+        result = session.execute(smartgrid.update_days_sql(9))
+        assert result.affected == 720 // 36 * 9
+
+    def test_paper_row_counts_present_for_all_tables(self):
+        assert set(smartgrid.SCHEMAS) == set(smartgrid.PAPER_ROW_COUNTS)
+        assert set(smartgrid.SCHEMAS) == set(smartgrid.GENERATORS)
+
+
+class TestDmlStats:
+    def test_recomputed_percentages_match_paper(self):
+        for scenario in dml_stats.TABLE1_DATA:
+            assert scenario.dml_percent == \
+                dml_stats.PAPER_DML_PERCENT[scenario.scenario]
+
+    def test_minimum_is_50(self):
+        assert dml_stats.minimum_dml_percent() == 50
+
+    def test_table_shape(self):
+        table = dml_stats.dml_ratio_table()
+        assert len(table) == 5
+        assert all(len(row) == 6 for row in table)
+
+    def test_names_present(self):
+        assert dml_stats.TABLE1_DATA[0].name == "power line loss analysis"
