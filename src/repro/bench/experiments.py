@@ -657,16 +657,60 @@ def ablation_failure(scale="small"):
                  % update.detail.get("plan"), update.affected,
                  round(update.sim_seconds, 2)))
     session.fs.revive_datanode(0)
+
+    # Region-server crash mid-UPDATE: the publish RPC dies, the region
+    # memstores are wiped, and the statement self-heals via in-statement
+    # retry + WAL replay.  Report the replay cost the recovery charged.
+    from repro.common.errors import ReproError
+    from repro.faults import Fault, FaultPlan
+
+    ledger = session.cluster.ledger
+    replay_before = ledger.seconds_for("hbase", "wal_replay")
+    # nth_hit lands inside the publish loop (hit 1 is the metadata
+    # catalog write, which is not wrapped by statement retries).
+    session.cluster.faults.install(FaultPlan([
+        Fault("hbase.put", nth_hit=8, kind="region_crash")]))
+    crashed_update = session.execute(tpch.update_ratio_sql(0.01))
+    session.cluster.faults.uninstall()
+    replay_s = ledger.seconds_for("hbase", "wal_replay") - replay_before
+    rows.append(("update across region-server crash (wal replay %.2fs)"
+                 % replay_s, crashed_update.affected,
+                 round(crashed_update.sim_seconds, 2)))
+    mid_region = session.execute(tpch.QUERY_C_COUNT)
+    rows.append(("post region-server crash count", mid_region.scalar(),
+                 round(mid_region.sim_seconds, 2)))
+
+    # Crash mid-COMPACT: the client dies after the manifest is durable;
+    # recover() rolls the compaction forward from the manifest.
+    handler = session.table("lineitem").handler
+    session.cluster.faults.install(FaultPlan([
+        Fault("dualtable.compact.truncate", nth_hit=1, kind="kill")]))
+    compact_failed = False
+    try:
+        session.execute("COMPACT TABLE lineitem")
+    except ReproError:
+        compact_failed = True
+    session.cluster.faults.uninstall()
+    recover_before = ledger.seconds_for("hdfs") + ledger.seconds_for("hbase")
+    outcome = handler.recover()
+    recover_s = (ledger.seconds_for("hdfs") + ledger.seconds_for("hbase")
+                 - recover_before)
+    rows.append(("compact crash recovery (%s)"
+                 % outcome["compact"], "crashed" if compact_failed else "ok",
+                 round(recover_s, 2)))
+
     final = session.execute(tpch.QUERY_C_COUNT)
     rows.append(("final count", final.scalar(),
                  round(final.sim_seconds, 2)))
     return ExperimentResult(
         experiment="ablation-failure",
-        title="Ablation: DualTable correctness under datanode failure",
+        title="Ablation: DualTable correctness under datanode, "
+              "region-server, and mid-COMPACT failures",
         columns=["phase", "value", "sim_seconds"],
         rows=rows,
         notes="Counts must match across all phases: replication hides "
-              "the failure, re-replication restores the factor.")
+              "datanode loss, the WAL hides region-server crashes, and "
+              "the compaction manifest makes COMPACT crash-safe.")
 
 
 def ablation_scenarios(scale="small"):

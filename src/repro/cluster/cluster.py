@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from repro.cluster.clock import SimClock
 from repro.cluster.ledger import Charge, MetricsLedger
 from repro.cluster.profile import ClusterProfile
+from repro.faults import FaultInjector
 
 
 class Cluster:
@@ -35,6 +36,9 @@ class Cluster:
         self.clock = SimClock()
         self.ledger = MetricsLedger()
         self.seed = seed
+        #: the shared fault-injection point registry (no-op until a
+        #: FaultPlan is installed; see repro.faults).
+        self.faults = FaultInjector()
 
     # ------------------------------------------------------------------
     # Cost scopes (used by the MR engine to meter individual tasks).

@@ -56,6 +56,17 @@ class ClusterProfile:
     #: Figure 4, present even when the Attached Table is empty).
     unionread_row_cost_s: float = 0.5e-6
 
+    # Fault tolerance: per-task retry with exponential backoff, plus
+    # speculative re-execution of stragglers (Hadoop's mapred.map.tasks.
+    # speculative.execution).  Backoff seconds are charged to the ledger
+    # so recovery is visible in the simulated time model.
+    max_task_attempts: int = 4
+    retry_backoff_s: float = 1.0
+    speculative_execution: bool = True
+    #: a task is a straggler when its duration exceeds this multiple of
+    #: the job's median task duration.
+    speculative_threshold: float = 3.0
+
     # Simulated-scale multipliers (see module docstring).
     byte_scale: float = 1.0
     op_scale: float = 1.0

@@ -8,6 +8,9 @@ from repro.common.errors import (
     MapReduceError,
     HiveError,
     DualTableError,
+    FaultError,
+    FaultInjectedError,
+    RecoveryError,
 )
 from repro.common.units import KB, MB, GB, fmt_bytes, fmt_seconds
 
@@ -19,6 +22,9 @@ __all__ = [
     "MapReduceError",
     "HiveError",
     "DualTableError",
+    "FaultError",
+    "FaultInjectedError",
+    "RecoveryError",
     "KB",
     "MB",
     "GB",

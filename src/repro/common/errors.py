@@ -57,6 +57,31 @@ class TaskFailedError(MapReduceError):
     """A map or reduce task raised an exception."""
 
 
+class FaultError(ReproError):
+    """Base class for the deterministic fault-injection layer."""
+
+
+class FaultInjectedError(FaultError):
+    """A fault plan fired at a named injection point.
+
+    ``fatal`` distinguishes process-level kills (the whole job/statement
+    dies; retry layers must not absorb it) from ordinary task crashes
+    (retryable).
+    """
+
+    def __init__(self, point, kind="crash", nth_hit=1, fatal=False):
+        super().__init__("injected %s fault at %s (hit %d)"
+                         % (kind, point, nth_hit))
+        self.point = point
+        self.kind = kind
+        self.nth_hit = nth_hit
+        self.fatal = fatal
+
+
+class RecoveryError(FaultError):
+    """A crash-recovery protocol found an unrecoverable state."""
+
+
 class HiveError(ReproError):
     """Raised by the Hive-like SQL layer."""
 

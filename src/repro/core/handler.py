@@ -12,6 +12,9 @@ updated field could move a row into the predicate's range and pruning
 would be unsound).
 """
 
+import itertools
+import json
+
 from repro.common.errors import CompactionInProgressError, DualTableError
 from repro.mapreduce import InputSplit, Job
 from repro.hive.catalog import register_handler
@@ -22,6 +25,8 @@ from repro.hive.session import QueryResult
 from repro.hive.storage.base import StorageHandler
 from repro.core.attached import AttachedTable
 from repro.core.cost_model import CostModel
+from repro.core.editlog import (EditBatch, recover_edit_logs,
+                                run_with_retries)
 from repro.core.master import MasterTable
 from repro.core.metadata import DualTableMetadata
 from repro.core.record_id import RECORD_ID_BYTES
@@ -60,6 +65,15 @@ class DualTableHandler(StorageHandler):
             raise DualTableError("bad dualtable.mode: %r" % self.mode)
         self.read_factor = int(props.get("dualtable.read_factor", 1))
         self._compacting = False
+        # Crash-recovery bookkeeping: the EDIT-plan redo-log directory
+        # and the COMPACT two-phase-commit paths (all siblings of the
+        # master directory, never inside it).
+        base = "/warehouse/%s" % table.name
+        self.txn_dir = base + "/txn"
+        self._compact_tmp = base + "/master.__compact__"
+        self._compact_old = base + "/master.__old__"
+        self._manifest_path = base + "/compact.manifest"
+        self._txn_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -73,6 +87,10 @@ class DualTableHandler(StorageHandler):
         self.master.drop()
         self.attached.drop()
         self.metadata.unregister_table(self.table.name)
+        for path in (self._manifest_path, self._compact_tmp,
+                     self._compact_old, self.txn_dir):
+            if self.env.fs.exists(path):
+                self.env.fs.delete(path, recursive=True)
 
     def _check_not_compacting(self):
         if self._compacting:
@@ -80,10 +98,71 @@ class DualTableHandler(StorageHandler):
                 "COMPACT in progress on %s" % self.table.name)
 
     # ------------------------------------------------------------------
+    # Crash recovery.
+    # ------------------------------------------------------------------
+    def recover(self):
+        """Finish any interrupted COMPACT or EDIT commit; idempotent.
+
+        Every public entry point calls this first, so a table whose last
+        statement crashed mid-commit heals on the next access.  Returns
+        ``{"compact": <"rolled_forward"|"rolled_back"|"clean">,
+        "dml": [(staging_path, outcome), ...]}``.
+        """
+        return {"compact": self._recover_compact(),
+                "dml": recover_edit_logs(self)}
+
+    def _ensure_recovered(self):
+        if self._compacting:
+            return   # mid-commit state is normal while COMPACT runs
+        fs = self.env.fs
+        if fs.exists(self._manifest_path) or fs.exists(self._compact_tmp) \
+                or fs.exists(self._compact_old):
+            self._recover_compact()
+        if fs.exists(self.txn_dir) and fs.list_files(self.txn_dir):
+            recover_edit_logs(self)
+
+    def _recover_compact(self):
+        """Roll an interrupted COMPACT forward or back.
+
+        The manifest is the commit point: if it exists (and is valid) the
+        new master files are all durable, so recovery *completes* the
+        swap; if not, the half-written ``__compact__`` directory is
+        discarded and the old master + Attached Table still hold the
+        table intact.
+        """
+        fs = self.env.fs
+        if fs.exists(self._manifest_path):
+            valid = False
+            try:
+                manifest = json.loads(
+                    fs.read_file(self._manifest_path).decode("utf-8"))
+                valid = manifest.get("table") == self.table.name
+            except (ValueError, UnicodeDecodeError):
+                valid = False
+            if valid:
+                self._complete_compact()
+                return "rolled_forward"
+            fs.delete(self._manifest_path)
+        rolled_back = False
+        if fs.exists(self._compact_tmp):
+            fs.delete(self._compact_tmp, recursive=True)
+            rolled_back = True
+        if fs.exists(self._compact_old):
+            if fs.exists(self.master.location):
+                fs.delete(self._compact_old, recursive=True)
+            else:
+                # Unreachable by protocol order (old is deleted before
+                # the manifest), but never discard the only master copy.
+                fs.rename(self._compact_old, self.master.location)
+            rolled_back = True
+        return "rolled_back" if rolled_back else "clean"
+
+    # ------------------------------------------------------------------
     # Writes.
     # ------------------------------------------------------------------
     def insert_rows(self, rows, overwrite=False):
         self._check_not_compacting()
+        self._ensure_recovered()
         rows = list(rows)
         if overwrite:
             self.master.replace_with(rows)
@@ -97,6 +176,7 @@ class DualTableHandler(StorageHandler):
     # ------------------------------------------------------------------
     def scan_splits(self, projection=None, ranges=None):
         self._check_not_compacting()
+        self._ensure_recovered()
         splits = []
         for path in self.master.file_paths():
             reader = self.master.reader(path)
@@ -230,6 +310,7 @@ class DualTableHandler(StorageHandler):
 
     def execute_update(self, session, stmt):
         self._check_not_compacting()
+        self._ensure_recovered()
         ratio, total_rows = self._estimate_ratio(stmt.where)
         d_bytes = self.master.data_bytes()
         update_cell_bytes = (RECORD_ID_BYTES
@@ -252,6 +333,7 @@ class DualTableHandler(StorageHandler):
 
     def execute_delete(self, session, stmt):
         self._check_not_compacting()
+        self._ensure_recovered()
         ratio, total_rows = self._estimate_ratio(stmt.where)
         d_bytes = self.master.data_bytes()
         scan_bytes = self._edit_scan_bytes(stmt.where)
@@ -301,23 +383,29 @@ class DualTableHandler(StorageHandler):
                    for name, expr in stmt.assignments]
         ranges = extract_ranges(stmt.where) if stmt.where is not None else {}
         splits = self.scan_splits(projection, ranges)
-        attached = self.attached
+        batch = EditBatch(self, next(self._txn_ids))
 
         def map_fn(split, ctx):
+            # Output-committer semantics: a failed/retried attempt's
+            # buffer is dropped; only successful attempts reach the batch.
+            buffer = batch.task_buffer()
             for record_id, values in self.read_split_with_rids(split, ctx):
                 if predicate is None or is_true(predicate(values)):
                     new_values = {idx: fn(values) for idx, fn in assigns}
-                    update_udtf(attached, record_id, new_values, ctx)
+                    update_udtf(buffer, record_id, new_values, ctx)
+            batch.absorb(buffer)
             return ()
 
         job = Job(name="update-edit", splits=splits, map_fn=map_fn,
                   reduce_fn=None)
         result = session.runner.run(job)
+        commit_seconds = batch.commit(session)
         jobs = session._dml_subquery_jobs + [result]
         sub = sum(j.sim_seconds for j in session._dml_subquery_jobs)
-        return QueryResult(sim_seconds=sub + result.sim_seconds, jobs=jobs,
-                           affected=result.counters.get("updated", 0),
-                           plan="update-edit", detail=detail)
+        return QueryResult(
+            sim_seconds=sub + result.sim_seconds + commit_seconds,
+            jobs=jobs, affected=result.counters.get("updated", 0),
+            plan="update-edit", detail=detail)
 
     def _edit_delete(self, session, stmt, detail):
         schema = self.schema
@@ -332,28 +420,33 @@ class DualTableHandler(StorageHandler):
                      if stmt.where is not None else None)
         ranges = extract_ranges(stmt.where) if stmt.where is not None else {}
         splits = self.scan_splits(projection, ranges)
-        attached = self.attached
+        batch = EditBatch(self, next(self._txn_ids))
 
         def map_fn(split, ctx):
+            buffer = batch.task_buffer()
             for record_id, values in self.read_split_with_rids(split, ctx):
                 if predicate is None or is_true(predicate(values)):
-                    delete_udtf(attached, record_id, ctx)
+                    delete_udtf(buffer, record_id, ctx)
+            batch.absorb(buffer)
             return ()
 
         job = Job(name="delete-edit", splits=splits, map_fn=map_fn,
                   reduce_fn=None)
         result = session.runner.run(job)
+        commit_seconds = batch.commit(session)
         jobs = session._dml_subquery_jobs + [result]
         sub = sum(j.sim_seconds for j in session._dml_subquery_jobs)
-        return QueryResult(sim_seconds=sub + result.sim_seconds, jobs=jobs,
-                           affected=result.counters.get("deleted", 0),
-                           plan="delete-edit", detail=detail)
+        return QueryResult(
+            sim_seconds=sub + result.sim_seconds + commit_seconds,
+            jobs=jobs, affected=result.counters.get("deleted", 0),
+            plan="delete-edit", detail=detail)
 
     # ------------------------------------------------------------------
     # COMPACT (Section III-C): fold the Attached Table into the Master.
     # ------------------------------------------------------------------
     def execute_compact(self, session, major=True):
         self._check_not_compacting()
+        self._ensure_recovered()
         if self.attached.is_empty():
             return QueryResult(plan="compact-noop",
                                detail={"attached_bytes": 0})
@@ -368,8 +461,9 @@ class DualTableHandler(StorageHandler):
             job = Job(name="compact", splits=splits, map_fn=map_fn,
                       reduce_fn=None)
             result = session.runner.run(job)
-            write_seconds = session._charged_parallel(
-                lambda: self._replace_after_compact(result.outputs))
+            write_seconds = run_with_retries(
+                session, lambda: self._commit_compact(result.outputs),
+                "compact-commit")
         finally:
             self._compacting = False
         return QueryResult(
@@ -393,9 +487,58 @@ class DualTableHandler(StorageHandler):
                 label=path))
         return splits
 
-    def _replace_after_compact(self, rows):
-        self.master.replace_with(rows)
+    def _commit_compact(self, rows):
+        """Two-phase commit of the compacted master (idempotent).
+
+        Phase 1 writes the new master files into ``master.__compact__``
+        and then writes the manifest — the commit point: every step
+        before it rolls *back* on a crash, every step after it rolls
+        *forward* (see :meth:`_recover_compact`).  Phase 2
+        (:meth:`_complete_compact`) is a chain of existence-guarded
+        renames/deletes, so replaying it from any prefix converges.
+        """
+        fs = self.env.fs
+        faults = self.env.cluster.faults
+        faults.hit("dualtable.compact.write", table=self.table.name)
+        if fs.exists(self._compact_tmp):
+            fs.delete(self._compact_tmp, recursive=True)
+        fs.mkdirs(self._compact_tmp)
+        self.master.write_rows(rows, directory=self._compact_tmp)
+        faults.hit("dualtable.compact.manifest", table=self.table.name)
+        manifest = json.dumps({
+            "table": self.table.name,
+            "tmp": self._compact_tmp,
+            "location": self.master.location,
+            "rows": len(rows),
+        }).encode("utf-8")
+        if fs.exists(self._manifest_path):
+            fs.delete(self._manifest_path)
+        fs.write_file(self._manifest_path, manifest)
+        self._complete_compact(inject=True)
+
+    def _complete_compact(self, inject=False):
+        """Finish a committed compaction; every step is re-runnable."""
+        fs = self.env.fs
+        faults = self.env.cluster.faults
+
+        def hit(point):
+            if inject:
+                faults.hit(point, table=self.table.name)
+
+        location = self.master.location
+        hit("dualtable.compact.swap")
+        if fs.exists(self._compact_tmp):
+            if fs.exists(location) and not fs.exists(self._compact_old):
+                fs.rename(location, self._compact_old)
+            hit("dualtable.compact.swap2")
+            fs.rename(self._compact_tmp, location)
+        hit("dualtable.compact.truncate")
         self.attached.clear()
+        if fs.exists(self._compact_old):
+            fs.delete(self._compact_old, recursive=True)
+        hit("dualtable.compact.cleanup")
+        if fs.exists(self._manifest_path):
+            fs.delete(self._manifest_path)
 
 
 register_handler("dualtable", DualTableHandler)

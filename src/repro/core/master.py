@@ -57,14 +57,24 @@ class MasterTable:
         return paths
 
     def replace_with(self, rows):
-        """Atomically replace the master with freshly written files."""
+        """Atomically replace the master with freshly written files.
+
+        The old directory is renamed aside before the new one takes its
+        place (instead of deleted first), so at every instant either the
+        old or the new master is fully present under some path.
+        """
         tmp = self.location + ".__tmp__"
-        if self.fs.exists(tmp):
-            self.fs.delete(tmp, recursive=True)
+        old = self.location + ".__replaced__"
+        for leftover in (tmp, old):
+            if self.fs.exists(leftover):
+                self.fs.delete(leftover, recursive=True)
         self.fs.mkdirs(tmp)
         self.write_rows(rows, directory=tmp)
-        self.drop()
+        if self.fs.exists(self.location):
+            self.fs.rename(self.location, old)
         self.fs.rename(tmp, self.location)
+        if self.fs.exists(old):
+            self.fs.delete(old, recursive=True)
 
     # ------------------------------------------------------------------
     def reader(self, path):

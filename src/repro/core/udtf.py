@@ -4,6 +4,12 @@ In the paper these are Hive user-defined table functions invoked from the
 rewritten statement; here they are the functions the EDIT-plan map tasks
 call per matching record.  They exist as a separate module to keep the
 architecture seam visible (parser → plan → UDTF → Attached Table).
+
+``attached`` is duck-typed: anything exposing ``put_update``/
+``put_delete``.  EDIT-plan statements pass a per-task
+:class:`repro.core.editlog.TaskEditBuffer` so a crashed statement
+publishes nothing (atomic commit via the redo log); MERGE and direct
+callers pass the :class:`repro.core.attached.AttachedTable` itself.
 """
 
 

@@ -1,0 +1,27 @@
+"""Seeded deterministic fault injection and the chaos harness.
+
+``repro.faults`` gives every substrate layer named injection points
+(``cluster.faults.hit("hbase.put")``) and gives tests a reproducible way
+to schedule crashes against them: a :class:`FaultPlan` is a list of
+``(injection_point, nth_hit, fault_kind)`` triples, derived from
+:mod:`repro.common.rng` seeds so any chaos failure replays exactly.
+
+See :mod:`repro.faults.injector` for the kind semantics and
+:mod:`repro.faults.chaos` for the oracle-checked chaos schedules.
+"""
+
+from repro.faults.injector import (ACTION_KINDS, FATAL_KINDS,
+                                   INJECTION_POINTS, POINT_KINDS,
+                                   RAISING_KINDS, Fault, FaultInjector,
+                                   FaultPlan)
+
+__all__ = [
+    "ACTION_KINDS",
+    "FATAL_KINDS",
+    "INJECTION_POINTS",
+    "POINT_KINDS",
+    "RAISING_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+]

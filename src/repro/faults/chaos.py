@@ -1,0 +1,154 @@
+"""Chaos harness: DML scripts under seeded fault schedules + an oracle.
+
+One *chaos schedule* is a fully deterministic experiment derived from a
+single integer seed:
+
+1. build a small DualTable (3-worker laptop profile, several master
+   files) and a plain ``{k: v}`` dict — the replay oracle;
+2. install a :meth:`FaultPlan.random` schedule on the cluster's
+   injector (task crashes, region-server crashes, datanode losses,
+   mid-COMPACT and mid-commit kills, stragglers);
+3. run a random script of UPDATE / DELETE / COMPACT statements.  A
+   statement that *returns* is committed and is applied to the oracle.
+   A statement that *raises* triggers :meth:`DualTableHandler.recover`
+   (with injection paused — recovery runs after the fault storm): if
+   its redo log was durable the statement rolled forward and is applied
+   to the oracle, otherwise it rolled back and is not;
+4. after every statement — and once more at the end — assert that
+   ``SELECT k, v`` (the UNION READ path) equals the oracle exactly, and
+   that a second ``recover()`` leaves the table byte-identical
+   (idempotence).
+
+Any failure reproduces from its seed alone.
+"""
+
+from repro.common.errors import ReproError
+from repro.common.rng import make_rng
+from repro.faults.injector import FaultPlan
+
+
+def build_chaos_session(num_rows=48, rows_per_file=12):
+    """A small DualTable session shaped for fault testing.
+
+    Three workers (so datanode losses leave live replicas) and several
+    master files (so jobs have multiple tasks to crash).  Returns
+    ``(session, oracle)``.
+    """
+    from repro.cluster import ClusterProfile
+    from repro.hive import HiveSession
+
+    profile = ClusterProfile.laptop(num_workers=3)
+    session = HiveSession(profile=profile)
+    session.execute(
+        "CREATE TABLE t (k int, v int) STORED AS DUALTABLE "
+        "TBLPROPERTIES ('orc.rows_per_file' = '%d', "
+        "'orc.stripe_rows' = '6')" % rows_per_file)
+    rows = [(i, i * 10) for i in range(num_rows)]
+    session.load_rows("t", rows)
+    return session, dict(rows)
+
+
+def make_ops(rng, num_rows, n_statements):
+    """A random statement script with matching oracle-apply closures.
+
+    Returns ``[(kind, sql, apply_fn_or_None)]``.
+    """
+    ops = []
+    for _ in range(n_statements):
+        roll = rng.random()
+        if roll < 0.45:
+            lo = rng.randrange(num_rows)
+            hi = min(num_rows, lo + rng.randint(1, max(2, num_rows // 3)))
+            delta = rng.randint(1, 99)
+            sql = ("UPDATE t SET v = v + %d WHERE k >= %d AND k < %d"
+                   % (delta, lo, hi))
+
+            def apply_fn(oracle, lo=lo, hi=hi, delta=delta):
+                for k in oracle:
+                    if lo <= k < hi:
+                        oracle[k] += delta
+
+            ops.append(("update", sql, apply_fn))
+        elif roll < 0.70:
+            lo = rng.randrange(num_rows)
+            hi = min(num_rows, lo + rng.randint(1, max(2, num_rows // 6)))
+            sql = "DELETE FROM t WHERE k >= %d AND k < %d" % (lo, hi)
+
+            def apply_fn(oracle, lo=lo, hi=hi):
+                for k in [k for k in oracle if lo <= k < hi]:
+                    del oracle[k]
+
+            ops.append(("delete", sql, apply_fn))
+        else:
+            ops.append(("compact", "COMPACT TABLE t", None))
+    return ops
+
+
+def verify_against_oracle(session, oracle):
+    """UNION READ == dict replay, with injection paused."""
+    with session.cluster.faults.paused():
+        rows = session.execute("SELECT k, v FROM t ORDER BY k").rows
+    expected = sorted(oracle.items())
+    assert rows == expected, (
+        "UNION READ diverged from oracle: %r != %r" % (rows, expected))
+
+
+def table_state(session):
+    """A comparable snapshot of the full logical + physical table state."""
+    handler = session.table("t").handler
+    with session.cluster.faults.paused():
+        files = tuple(handler.master.file_paths())
+        rows = tuple(session.execute("SELECT k, v FROM t ORDER BY k").rows)
+        attached = tuple(
+            (rid, delta.deleted, tuple(sorted(delta.updates.items())))
+            for rid, delta in handler.attached.scan_range())
+    return files, rows, attached
+
+
+def run_chaos_schedule(seed, n_statements=6, num_rows=48):
+    """Run one seeded schedule end-to-end; returns a summary dict.
+
+    Raises AssertionError (with the seed in hand) on any invariant
+    violation.
+    """
+    rng = make_rng("chaos", seed)
+    session, oracle = build_chaos_session(num_rows=num_rows)
+    handler = session.table("t").handler
+    faults = session.cluster.faults
+    plan = FaultPlan.random(rng, max_faults=3, max_hit=10)
+    ops = make_ops(rng, num_rows, n_statements)
+    faults.install(plan)
+    summary = {"seed": seed, "plan": plan, "statements": len(ops),
+               "failed": 0, "rolled_forward": 0, "fired": 0}
+    try:
+        for kind, sql, apply_fn in ops:
+            committed = False
+            try:
+                session.execute(sql)
+                committed = True
+            except ReproError:
+                summary["failed"] += 1
+                # Recovery runs after the failure, injection paused.
+                with faults.paused():
+                    outcome = handler.recover()
+                if any(o == "rolled_forward" for _, o in outcome["dml"]):
+                    committed = True
+                    summary["rolled_forward"] += 1
+                # Either way the table must be consistent: roll-forward
+                # compactions / rolled-back DML both leave it readable.
+            if committed and apply_fn is not None:
+                apply_fn(oracle)
+            verify_against_oracle(session, oracle)
+    finally:
+        summary["fired"] = [(f.point, f.kind) for f, _ in faults.fired]
+        faults.uninstall()
+    # Final invariants: oracle equivalence and recover() idempotence.
+    verify_against_oracle(session, oracle)
+    before = table_state(session)
+    handler.recover()
+    once = table_state(session)
+    handler.recover()
+    twice = table_state(session)
+    assert before == once == twice, (
+        "recover() is not idempotent for seed %r" % seed)
+    return summary

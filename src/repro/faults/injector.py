@@ -1,0 +1,200 @@
+"""Deterministic fault injection: named points, seeded plans, one firing.
+
+Every substrate layer calls ``cluster.faults.hit("<point>", **context)``
+at its named injection points.  With no plan installed this is a cheap
+no-op, so the production path pays one attribute check.  With a plan
+installed the injector counts hits per point and *fires* a fault exactly
+when a ``(point, nth_hit)`` pair in the plan is reached:
+
+* raising kinds (``crash``, ``kill``, ``region_crash``) raise
+  :class:`~repro.common.errors.FaultInjectedError` — ``kill`` is marked
+  fatal (simulates the client JVM dying: retry layers must not absorb
+  it), the others are retryable task/RPC failures;
+* ``region_crash`` additionally runs its bound action first (the session
+  binds it to :meth:`HBaseService.crash_region_server`, wiping every
+  memstore) so the error comes with real lost state behind it;
+* ``datanode_loss`` runs its action (kill one live datanode) and returns
+  without raising — HDFS clients notice via replica failover;
+* ``slow`` never raises: the MapReduce runner stretches the straggler
+  task's duration by ``fault.factor`` instead.
+
+A fault fires at most once (hit counters only move forward), which keeps
+retry loops convergent by construction.
+"""
+
+from contextlib import contextmanager
+
+from repro.common.errors import FaultInjectedError
+
+#: fault kinds that raise FaultInjectedError at the injection point.
+RAISING_KINDS = frozenset({"crash", "kill", "region_crash"})
+#: raising kinds that must not be absorbed by retry layers.
+FATAL_KINDS = frozenset({"kill"})
+#: kinds that only run a bound side-effect action.
+ACTION_KINDS = frozenset({"region_crash", "datanode_loss"})
+
+#: every named injection point threaded through the stack, with the
+#: fault kinds that make physical sense there (used by random plans).
+POINT_KINDS = {
+    "mapreduce.map": ("crash", "slow", "crash"),
+    "mapreduce.reduce": ("crash", "slow"),
+    "hbase.put": ("crash", "region_crash"),
+    "hbase.delete": ("crash", "region_crash"),
+    "hdfs.write_block": ("datanode_loss",),
+    "dualtable.dml.stage": ("kill", "crash"),
+    "dualtable.dml.publish": ("kill", "crash", "region_crash"),
+    "dualtable.compact.write": ("kill",),
+    "dualtable.compact.manifest": ("kill",),
+    "dualtable.compact.swap": ("kill",),
+    "dualtable.compact.swap2": ("kill",),
+    "dualtable.compact.truncate": ("kill",),
+    "dualtable.compact.cleanup": ("kill",),
+}
+
+INJECTION_POINTS = tuple(sorted(POINT_KINDS))
+
+
+class Fault:
+    """One scheduled fault: fire ``kind`` at the ``nth_hit`` of ``point``."""
+
+    __slots__ = ("point", "nth_hit", "kind", "factor")
+
+    def __init__(self, point, nth_hit=1, kind="crash", factor=8.0):
+        self.point = point
+        self.nth_hit = int(nth_hit)
+        self.kind = kind
+        self.factor = float(factor)
+
+    def __repr__(self):
+        return "Fault(%r, nth_hit=%d, kind=%r)" % (
+            self.point, self.nth_hit, self.kind)
+
+    def __eq__(self, other):
+        return (isinstance(other, Fault)
+                and (self.point, self.nth_hit, self.kind, self.factor)
+                == (other.point, other.nth_hit, other.kind, other.factor))
+
+
+class FaultPlan:
+    """An ordered collection of :class:`Fault` triples."""
+
+    def __init__(self, faults=()):
+        self.faults = list(faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self):
+        return len(self.faults)
+
+    def __repr__(self):
+        return "FaultPlan(%r)" % (self.faults,)
+
+    @classmethod
+    def random(cls, rng, max_faults=3, max_hit=10, points=None):
+        """A seeded random schedule over the known injection points.
+
+        ``rng`` must be a ``random.Random`` (use
+        :func:`repro.common.rng.make_rng` so schedules reproduce from a
+        single seed).  Statement-level ``dualtable.*`` points are hit
+        only a handful of times per workload, so their ``nth_hit`` is
+        drawn from a small range — otherwise they would almost never
+        fire.
+        """
+        points = sorted(points or POINT_KINDS)
+        faults = []
+        for _ in range(rng.randint(1, max_faults)):
+            point = rng.choice(points)
+            kind = rng.choice(POINT_KINDS.get(point, ("crash",)))
+            cap = 3 if point.startswith("dualtable.") else max_hit
+            faults.append(Fault(point=point,
+                                nth_hit=rng.randint(1, cap),
+                                kind=kind,
+                                factor=rng.choice((4.0, 8.0, 16.0))))
+        return cls(faults)
+
+
+class FaultInjector:
+    """Per-cluster fault-injection state machine.
+
+    One injector lives on every :class:`repro.cluster.Cluster`; layers
+    reach it as ``cluster.faults``.  Actions for side-effecting kinds are
+    bound by whoever owns the affected subsystem (the HiveSession binds
+    ``region_crash`` and ``datanode_loss``).
+    """
+
+    def __init__(self):
+        self._plan = None
+        self._hits = {}
+        self._actions = {}
+        self._paused = 0
+        #: (fault, context) pairs that actually fired, in order.
+        self.fired = []
+
+    # ------------------------------------------------------------------
+    # Plan management.
+    # ------------------------------------------------------------------
+    def install(self, plan):
+        """Install a plan and reset hit counters and the fired log."""
+        self._plan = plan
+        self._hits = {}
+        self.fired = []
+
+    def uninstall(self):
+        self._plan = None
+
+    @property
+    def active(self):
+        return self._plan is not None and not self._paused
+
+    def bind(self, kind, action):
+        """Register the side-effect callable for an action kind."""
+        self._actions[kind] = action
+
+    def hit_count(self, point):
+        return self._hits.get(point, 0)
+
+    # ------------------------------------------------------------------
+    # Pause (used while verifying invariants mid-chaos).
+    # ------------------------------------------------------------------
+    def pause(self):
+        self._paused += 1
+
+    def resume(self):
+        self._paused = max(0, self._paused - 1)
+
+    @contextmanager
+    def paused(self):
+        self.pause()
+        try:
+            yield
+        finally:
+            self.resume()
+
+    # ------------------------------------------------------------------
+    # The injection point.
+    # ------------------------------------------------------------------
+    def hit(self, point, **context):
+        """Record one hit of ``point``; fire any scheduled fault.
+
+        Returns the fired :class:`Fault` for non-raising kinds (callers
+        that model e.g. slowdowns inspect it) or None.
+        """
+        if self._plan is None or self._paused:
+            return None
+        count = self._hits.get(point, 0) + 1
+        self._hits[point] = count
+        for fault in self._plan:
+            if fault.point == point and fault.nth_hit == count:
+                return self._fire(fault, context)
+        return None
+
+    def _fire(self, fault, context):
+        self.fired.append((fault, dict(context)))
+        action = self._actions.get(fault.kind)
+        if action is not None:
+            action(fault)
+        if fault.kind in RAISING_KINDS:
+            raise FaultInjectedError(fault.point, fault.kind, fault.nth_hit,
+                                     fatal=fault.kind in FATAL_KINDS)
+        return fault

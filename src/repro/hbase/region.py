@@ -24,6 +24,11 @@ class Region:
         self.memstore = MemStore()
         self.hfiles = []
         self.flush_threshold_bytes = flush_threshold_bytes
+        #: the write-ahead log: every cell applied since the last flush,
+        #: in arrival order.  WAL entries are durable (HDFS-backed in
+        #: real HBase); the memstore is volatile — a region-server crash
+        #: loses the memstore and :meth:`recover` replays the WAL.
+        self.wal = []
         self.wal_bytes = 0
 
     # ------------------------------------------------------------------
@@ -37,7 +42,13 @@ class Region:
         return True
 
     def apply(self, cell):
-        """Apply a put/delete cell: WAL append + memstore insert."""
+        """Apply a put/delete cell: WAL append + memstore insert.
+
+        The WAL append happens first — only once the edit is durable is
+        it acknowledged — so :meth:`crash` + :meth:`recover` can never
+        lose an acknowledged edit.
+        """
+        self.wal.append(cell)
         self.wal_bytes += cell.size_bytes()
         self.memstore.add(cell)
         if self.memstore.size_bytes >= self.flush_threshold_bytes:
@@ -60,7 +71,38 @@ class Region:
             return None
         hfile = HFile(self.memstore.drain())
         self.hfiles.append(hfile)
+        # Flushed cells are durable in the HFile; their WAL entries are
+        # no longer needed for recovery.
+        self.wal = []
+        self.wal_bytes = 0
         return hfile
+
+    # ------------------------------------------------------------------
+    # Crash / recovery.
+    # ------------------------------------------------------------------
+    def crash(self):
+        """Region-server crash: the volatile memstore is lost.
+
+        HFiles (already on disk) and the WAL (durable by construction)
+        survive.  Returns the number of cells lost from the memstore.
+        """
+        lost = len(self.memstore)
+        self.memstore = MemStore()
+        return lost
+
+    def recover(self):
+        """Rebuild the memstore by replaying the WAL.
+
+        Idempotent: the memstore is always rebuilt from scratch, so
+        calling :meth:`recover` on a healthy region is a no-op state-wise.
+        Returns the number of WAL bytes replayed.
+        """
+        self.memstore = MemStore()
+        replayed = 0
+        for cell in self.wal:
+            self.memstore.add(cell)
+            replayed += cell.size_bytes()
+        return replayed
 
     def compact(self, major=False):
         """Merge store files.

@@ -57,6 +57,8 @@ class HTable:
     # ------------------------------------------------------------------
     def put(self, row, values, ts=None):
         """Put ``{qualifier: value}`` cells for one row."""
+        self._service.ensure_available()
+        self._cluster.faults.hit("hbase.put", table=self.name)
         ts = self._service.next_ts() if ts is None else ts
         region = self._region_for(row)
         nbytes = 0
@@ -68,6 +70,8 @@ class HTable:
         return ts
 
     def delete_row(self, row, ts=None):
+        self._service.ensure_available()
+        self._cluster.faults.hit("hbase.delete", table=self.name)
         ts = self._service.next_ts() if ts is None else ts
         self._region_for(row).delete_row(row, ts)
         if not self.system:
@@ -75,6 +79,8 @@ class HTable:
         return ts
 
     def delete_column(self, row, qualifier, ts=None):
+        self._service.ensure_available()
+        self._cluster.faults.hit("hbase.delete", table=self.name)
         ts = self._service.next_ts() if ts is None else ts
         self._region_for(row).delete_column(row, qualifier, ts)
         if not self.system:
@@ -87,6 +93,7 @@ class HTable:
     # ------------------------------------------------------------------
     def get(self, row, versions=1):
         """Resolved cells of one row, or None if absent/deleted."""
+        self._service.ensure_available()
         region = self._region_for(row)
         data = region.get(row, versions=versions)
         if not self.system:
@@ -96,6 +103,7 @@ class HTable:
 
     def scan(self, start_row=None, stop_row=None, versions=1):
         """Yield resolved ``(row, cells)`` pairs in global row order."""
+        self._service.ensure_available()
         for region in self._regions_in_range(start_row, stop_row):
             raw_bytes = 0
             nrows = 0
@@ -137,13 +145,19 @@ class HTable:
     # ------------------------------------------------------------------
     @property
     def store_bytes(self):
+        self._service.ensure_available()
         return sum(r.store_bytes for r in self.regions)
 
     def bytes_in_range(self, start_row=None, stop_row=None):
+        # Stats must see post-replay state: planners use them to decide
+        # whether pruning is safe, and a crash-wiped memstore would make
+        # a populated range look empty.
+        self._service.ensure_available()
         return sum(r.bytes_in_range(start_row, stop_row)
                    for r in self._regions_in_range(start_row, stop_row))
 
     def cell_count(self):
+        self._service.ensure_available()
         return sum(r.cell_count() for r in self.regions)
 
     def count_rows(self):
@@ -163,9 +177,52 @@ class HBaseService:
         self.cluster = cluster
         self._tables = {}
         self._ts = itertools.count(1)
+        self._crashed = False
 
     def next_ts(self):
         return next(self._ts)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery (the WAL contract).
+    # ------------------------------------------------------------------
+    def crash_region_server(self):
+        """Crash the (single simulated) region server.
+
+        Every region's memstore is lost; HFiles and WALs survive.  The
+        next client operation triggers WAL replay via
+        :meth:`ensure_available`.  Returns the number of cells dropped
+        from memstores.
+        """
+        lost = 0
+        for table in self._tables.values():
+            for region in table.regions:
+                lost += region.crash()
+        self._crashed = True
+        return lost
+
+    def ensure_available(self):
+        """Entry gate for every client op: recover after a crash."""
+        if self._crashed:
+            self.recover()
+
+    def recover(self):
+        """Replay every region's WAL; charge the replay I/O.
+
+        Idempotent — regions rebuild their memstores from the WAL from
+        scratch, so repeated recovery converges to the same state.
+        Returns the data-path WAL bytes replayed.
+        """
+        self._crashed = False
+        replayed = 0
+        for table in self._tables.values():
+            table_bytes = sum(r.recover() for r in table.regions)
+            if not table.system:
+                replayed += table_bytes
+        if replayed:
+            self.cluster._charge(
+                "hbase", "wal_replay", nbytes=replayed, nops=1,
+                rate=self.cluster.profile.hbase_write_bps)
+        return replayed
 
     def create_table(self, name, split_points=(), system=False):
         if name in self._tables:

@@ -83,6 +83,9 @@ class HdfsFileSystem:
         return len(data)
 
     def _write_block(self, inode, data):
+        # datanode_loss faults fire here (non-raising): the pipeline
+        # routes around the dead node via replica placement.
+        self.cluster.faults.hit("hdfs.write_block", path=inode.path)
         self.namenode.allocate_block(inode, data)
         # The client pays for one stream; pipeline replication happens on
         # cluster-internal links and is tracked separately for visibility.

@@ -7,7 +7,6 @@ relies on.
 """
 
 import itertools
-import random
 
 from repro.common.errors import (
     FileAlreadyExistsError,
@@ -16,6 +15,7 @@ from repro.common.errors import (
     ImmutableFileError,
     ReplicationError,
 )
+from repro.common.rng import make_rng
 
 
 class Block:
@@ -78,7 +78,9 @@ class NameNode:
         self.replication = replication
         self._namespace = {"/": INodeDirectory("/")}
         self._block_ids = itertools.count(1)
-        self._rng = random.Random(seed)
+        # Replica placement shares the library-wide seed derivation so a
+        # single seed reproduces placements *and* fault schedules.
+        self._rng = make_rng("hdfs.namenode.placement", seed)
 
     # ------------------------------------------------------------------
     # Namespace operations.

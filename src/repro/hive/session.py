@@ -69,6 +69,21 @@ class HiveSession:
         self.views = {}
         self._dml_subquery_jobs = []
         self._ensure_extended_handlers()
+        self._bind_fault_actions()
+
+    def _bind_fault_actions(self):
+        """Wire side-effecting fault kinds to this session's subsystems."""
+        faults = self.cluster.faults
+        faults.bind("region_crash",
+                    lambda fault: self.hbase.crash_region_server())
+        faults.bind("datanode_loss", self._lose_one_datanode)
+
+    def _lose_one_datanode(self, fault):
+        """Kill a live datanode, but never the last one (data would be
+        unrecoverable, which is a cluster loss, not a fault to survive)."""
+        alive = [i for i, dn in enumerate(self.fs.datanodes) if dn.alive]
+        if len(alive) > 1:
+            self.fs.kill_datanode(alive[0])
 
     @staticmethod
     def _ensure_extended_handlers():

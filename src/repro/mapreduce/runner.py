@@ -6,12 +6,27 @@ row costs and a fixed task overhead.  The job's simulated run time is the
 *makespan* of greedily list-scheduling those task durations onto the
 cluster's map and reduce slots — the same "waves of tasks over slots"
 shape real Hadoop exhibits — plus the job startup cost.
+
+Fault tolerance mirrors Hadoop's task layer:
+
+* a failed task attempt is retried up to ``profile.max_task_attempts``
+  times with exponential backoff; the failed attempt's work *and* the
+  backoff are charged to the ledger and added to the task's duration, so
+  recovery is visible in a job's ``sim_seconds``;
+* fatal injected faults (``kill`` — the client JVM dying) are never
+  absorbed: they wrap into :class:`TaskFailedError` immediately;
+* speculative execution launches a backup attempt for straggler tasks
+  (duration above ``speculative_threshold`` × the job's median) and takes
+  the earlier finisher, charging the duplicate work.
+
+Injection points: ``mapreduce.map`` / ``mapreduce.reduce`` fire at the
+start of every task attempt.
 """
 
 import heapq
 from collections import defaultdict
 
-from repro.common.errors import TaskFailedError
+from repro.common.errors import FaultInjectedError, TaskFailedError
 from repro.mapreduce.job import (JobResult, TaskContext,
                                  estimate_record_bytes, stable_hash)
 
@@ -29,6 +44,21 @@ def _makespan(durations, slots):
     return max(heap)
 
 
+def _reduce_sort_key(key):
+    """Deterministic ordering for mixed-type reduce keys.
+
+    ``repr`` alone interleaves types by their textual form ("10" < "b'a'"
+    < "9"), so a retried partition with an extra key type could visit
+    keys in a different relative order; grouping by type name first keeps
+    the visit order stable under any key mix.
+    """
+    return (type(key).__name__, repr(key))
+
+
+def _is_fatal(exc):
+    return isinstance(exc, FaultInjectedError) and exc.fatal
+
+
 class JobRunner:
     """Runs jobs against one simulated cluster."""
 
@@ -42,17 +72,19 @@ class JobRunner:
         with self.cluster.cost_scope("job:%s" % job.name) as job_scope:
             self.cluster.charge_fixed("mapreduce", "job_startup",
                                       profile.job_startup_s)
-            map_durations, map_outputs = self._run_maps(job, counters)
+            map_entries, map_outputs = self._run_maps(job, counters)
             if job.is_map_only:
                 outputs = [record for _, records in map_outputs
                            for record in records]
                 shuffle_seconds = 0.0
                 shuffle_bytes = 0
-                reduce_durations = []
+                reduce_entries = []
             else:
-                (shuffle_seconds, shuffle_bytes, reduce_durations,
+                (shuffle_seconds, shuffle_bytes, reduce_entries,
                  outputs) = self._run_reduces(job, map_outputs, counters)
 
+        map_durations = self._finish_durations(map_entries, counters)
+        reduce_durations = self._finish_durations(reduce_entries, counters)
         map_seconds = _makespan(map_durations, profile.total_map_slots)
         reduce_seconds = _makespan(reduce_durations,
                                    profile.total_reduce_slots)
@@ -77,27 +109,96 @@ class JobRunner:
         return result
 
     # ------------------------------------------------------------------
-    def _run_maps(self, job, counters):
+    # Task attempts: retry with charged backoff.
+    # ------------------------------------------------------------------
+    def _run_attempts(self, job, task_type, index, attempt_fn, counters,
+                      describe):
+        """Run one task to success, retrying failed attempts.
+
+        Returns ``(output, base_seconds, penalty_seconds, ctx)`` where
+        ``base_seconds`` is the successful attempt's duration (the part
+        speculative execution can clamp) and ``penalty_seconds`` is the
+        accumulated failed-attempt work plus backoff (it cannot: the
+        retries really happened).
+        """
+        profile = self.cluster.profile
+        max_attempts = max(1, profile.max_task_attempts)
+        point = "mapreduce.%s" % task_type
+        penalty = 0.0
+        for attempt in range(1, max_attempts + 1):
+            ctx = TaskContext(self.cluster, task_type, index)
+            scope_label = "%s-%d.%d" % (task_type, index, attempt)
+            with self.cluster.cost_scope(scope_label) as scope:
+                try:
+                    fault = self.cluster.faults.hit(
+                        point, job=job.name, task=index, attempt=attempt)
+                    output = attempt_fn(ctx)
+                except Exception as exc:
+                    failed = scope.parallel_seconds + profile.task_overhead_s
+                    if _is_fatal(exc) or attempt == max_attempts:
+                        raise TaskFailedError(describe(exc)) from exc
+                    backoff = profile.retry_backoff_s * (2.0 ** (attempt - 1))
+                    self.cluster.charge_fixed("mapreduce", "retry_backoff",
+                                              backoff)
+                    penalty += failed + backoff
+                    counters["task_retries"] += 1
+                    continue
+            base = scope.parallel_seconds + profile.task_overhead_s
+            if fault is not None and fault.kind == "slow":
+                extra = base * (fault.factor - 1.0)
+                self.cluster.charge_fixed("mapreduce", "straggler", extra)
+                base += extra
+            return output, base, penalty, ctx
+        raise AssertionError("unreachable: final attempt raises")
+
+    def _finish_durations(self, entries, counters):
+        """(base, penalty) pairs -> per-task durations, with speculation.
+
+        A straggler (base duration far above the job's median) gets a
+        speculative backup attempt: the task effectively finishes at
+        ~median time, the duplicate work is charged, and the retry
+        penalty — real failed work — is never clamped.
+        """
+        profile = self.cluster.profile
+        bases = [base for base, _ in entries]
         durations = []
+        speculate = (profile.speculative_execution and len(entries) >= 2)
+        median = sorted(bases)[len(bases) // 2] if speculate else 0.0
+        for base, penalty in entries:
+            if speculate and median > 0.0 \
+                    and base > profile.speculative_threshold * median:
+                backup = median + profile.task_overhead_s
+                if backup < base:
+                    self.cluster.charge_fixed("mapreduce", "speculative",
+                                              backup)
+                    counters["speculative_tasks"] += 1
+                    base = backup
+            durations.append(base + penalty)
+        return durations
+
+    # ------------------------------------------------------------------
+    def _run_maps(self, job, counters):
+        entries = []
         outputs = []
         for index, split in enumerate(job.splits):
-            ctx = TaskContext(self.cluster, "map", index)
-            with self.cluster.cost_scope("map-%d" % index) as scope:
-                try:
-                    records = list(job.map_fn(split, ctx))
-                except Exception as exc:
-                    raise TaskFailedError(
-                        "map task %d of %s failed: %s"
-                        % (index, job.name, exc)) from exc
+            def attempt_fn(ctx, split=split):
+                records = list(job.map_fn(split, ctx))
                 self.cluster.charge_cpu_rows(len(records))
                 if job.combiner_fn is not None and not job.is_map_only:
                     records = self._combine(job, records, ctx)
-            durations.append(scope.parallel_seconds
-                             + self.cluster.profile.task_overhead_s)
+                return records
+
+            def describe(exc, index=index):
+                return ("map task %d of %s failed: %s"
+                        % (index, job.name, exc))
+
+            records, base, penalty, ctx = self._run_attempts(
+                job, "map", index, attempt_fn, counters, describe)
+            entries.append((base, penalty))
             outputs.append((index, records))
             for key, val in ctx.counters.items():
                 counters[key] += val
-        return durations, outputs
+        return entries, outputs
 
     def _combine(self, job, records, ctx):
         grouped = defaultdict(list)
@@ -123,26 +224,29 @@ class JobRunner:
         self.cluster.charge_cpu_rows(shuffle_records)  # sort cost
         shuffle_seconds = charge.seconds
 
-        durations = []
+        entries = []
         outputs = []
         for index, partition in enumerate(partitions):
             if not partition and num_reducers > 1:
                 continue
-            ctx = TaskContext(self.cluster, "reduce", index)
-            with self.cluster.cost_scope("reduce-%d" % index) as scope:
+            failing = {}
+
+            def attempt_fn(ctx, partition=partition, failing=failing):
                 task_out = []
-                for key in sorted(partition, key=repr):
-                    try:
-                        task_out.extend(
-                            job.reduce_fn(key, partition[key], ctx))
-                    except Exception as exc:
-                        raise TaskFailedError(
-                            "reduce task %d of %s failed at key %r: %s"
-                            % (index, job.name, key, exc)) from exc
+                for key in sorted(partition, key=_reduce_sort_key):
+                    failing["key"] = key
+                    task_out.extend(job.reduce_fn(key, partition[key], ctx))
                 self.cluster.charge_cpu_rows(len(task_out))
-            durations.append(scope.parallel_seconds
-                             + self.cluster.profile.task_overhead_s)
+                return task_out
+
+            def describe(exc, index=index, failing=failing):
+                return ("reduce task %d of %s failed at key %r: %s"
+                        % (index, job.name, failing.get("key"), exc))
+
+            task_out, base, penalty, ctx = self._run_attempts(
+                job, "reduce", index, attempt_fn, counters, describe)
+            entries.append((base, penalty))
             outputs.extend(task_out)
             for key, val in ctx.counters.items():
                 counters[key] += val
-        return shuffle_seconds, shuffle_bytes, durations, outputs
+        return shuffle_seconds, shuffle_bytes, entries, outputs

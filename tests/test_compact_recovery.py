@@ -1,0 +1,181 @@
+"""Crash-safe COMPACT (manifest 2PC) and atomic DML commits."""
+
+import pytest
+
+from repro.common.errors import FaultInjectedError, ReproError
+from repro.faults import Fault, FaultPlan
+
+COMPACT_POINTS = (
+    "dualtable.compact.write",
+    "dualtable.compact.manifest",
+    "dualtable.compact.swap",
+    "dualtable.compact.swap2",
+    "dualtable.compact.truncate",
+    "dualtable.compact.cleanup",
+)
+
+
+def make_dualtable(session, n=60, rows_per_file=15):
+    session.execute(
+        "CREATE TABLE dt (id int, day string, amount double, tag string) "
+        "STORED AS DUALTABLE TBLPROPERTIES ('dualtable.mode' = 'edit', "
+        "'orc.rows_per_file' = '%d', 'orc.stripe_rows' = '5')"
+        % rows_per_file)
+    rows = [(i, "2013-07-%02d" % (1 + i % 20), float(i), "t%d" % (i % 3))
+            for i in range(n)]
+    session.load_rows("dt", rows)
+    return session.table("dt").handler
+
+
+def _select_all(session):
+    with session.cluster.faults.paused():
+        return session.execute("SELECT * FROM dt ORDER BY id").rows
+
+
+def _dirty(session):
+    """Leave edits in the attached table so COMPACT has work to do."""
+    session.execute("UPDATE dt SET tag = 'upd' WHERE id < 20")
+    session.execute("DELETE FROM dt WHERE id >= 50")
+
+
+class TestCompactCrashRecovery:
+    @pytest.mark.parametrize("point", COMPACT_POINTS)
+    def test_kill_at_each_point_then_recover(self, session, point):
+        handler = make_dualtable(session)
+        _dirty(session)
+        expect = _select_all(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault(point, nth_hit=1, kind="kill")]))
+        with pytest.raises(ReproError):
+            session.execute("COMPACT TABLE dt")
+        with session.cluster.faults.paused():
+            handler.recover()
+        assert _select_all(session) == expect
+        session.cluster.faults.uninstall()
+        # Table stays fully usable after recovery.
+        session.execute("UPDATE dt SET tag = 'post' WHERE id = 0")
+        assert session.execute(
+            "SELECT tag FROM dt WHERE id = 0").scalar() == "post"
+
+    @pytest.mark.parametrize("point", COMPACT_POINTS)
+    def test_recover_twice_is_idempotent(self, session, point):
+        handler = make_dualtable(session)
+        _dirty(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault(point, nth_hit=1, kind="kill")]))
+        with pytest.raises(ReproError):
+            session.execute("COMPACT TABLE dt")
+        session.cluster.faults.uninstall()
+        handler.recover()
+        files_once = sorted(handler.master.file_paths())
+        rows_once = _select_all(session)
+        handler.recover()
+        assert sorted(handler.master.file_paths()) == files_once
+        assert _select_all(session) == rows_once
+
+    def test_pre_manifest_crash_rolls_back(self, session):
+        """Before the manifest exists the old master must survive."""
+        handler = make_dualtable(session)
+        _dirty(session)
+        files_before = sorted(handler.master.file_paths())
+        session.cluster.faults.install(FaultPlan([
+            Fault("dualtable.compact.write", nth_hit=1, kind="kill")]))
+        with pytest.raises(ReproError):
+            session.execute("COMPACT TABLE dt")
+        session.cluster.faults.uninstall()
+        outcome = handler.recover()
+        assert outcome["compact"] in ("rolled_back", "clean")
+        assert sorted(handler.master.file_paths()) == files_before
+        # Edits survived the rollback: they are still in the attached.
+        assert not handler.attached.is_empty()
+
+    def test_post_manifest_crash_rolls_forward(self, session):
+        """Once the manifest is durable the compaction completes."""
+        handler = make_dualtable(session)
+        _dirty(session)
+        expect = _select_all(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault("dualtable.compact.swap", nth_hit=1, kind="kill")]))
+        with pytest.raises(ReproError):
+            session.execute("COMPACT TABLE dt")
+        session.cluster.faults.uninstall()
+        outcome = handler.recover()
+        assert outcome["compact"] == "rolled_forward"
+        assert _select_all(session) == expect
+        assert handler.attached.is_empty()
+
+    def test_next_statement_auto_recovers(self, session):
+        """A crashed COMPACT must not wedge the table: the next
+        statement recovers implicitly via _ensure_recovered."""
+        make_dualtable(session)
+        _dirty(session)
+        expect = _select_all(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault("dualtable.compact.truncate", nth_hit=1, kind="kill")]))
+        with pytest.raises(ReproError):
+            session.execute("COMPACT TABLE dt")
+        session.cluster.faults.uninstall()
+        # No explicit recover() — just keep using the table.
+        assert session.execute(
+            "SELECT * FROM dt ORDER BY id").rows == expect
+
+
+class TestDmlCrashRecovery:
+    def test_stage_kill_rolls_back(self, session):
+        """A crash before the redo log is durable publishes nothing."""
+        handler = make_dualtable(session)
+        before = _select_all(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault("dualtable.dml.stage", nth_hit=1, kind="kill")]))
+        with pytest.raises(FaultInjectedError):
+            session.execute("UPDATE dt SET tag = 'lost' WHERE id < 30")
+        session.cluster.faults.uninstall()
+        outcome = handler.recover()
+        assert all(o != "rolled_forward" for _, o in outcome["dml"])
+        assert _select_all(session) == before
+        assert handler.attached.is_empty()
+
+    def test_publish_kill_rolls_forward(self, session):
+        """Once the redo log is durable the edit is committed."""
+        handler = make_dualtable(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault("dualtable.dml.publish", nth_hit=1, kind="kill")]))
+        with pytest.raises(FaultInjectedError):
+            session.execute("UPDATE dt SET tag = 'won' WHERE id < 30")
+        session.cluster.faults.uninstall()
+        outcome = handler.recover()
+        assert any(o == "rolled_forward" for _, o in outcome["dml"])
+        assert session.execute(
+            "SELECT count(*) FROM dt WHERE tag = 'won'").scalar() == 30
+
+    def test_dml_recovery_is_idempotent(self, session):
+        handler = make_dualtable(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault("dualtable.dml.publish", nth_hit=1, kind="kill")]))
+        with pytest.raises(FaultInjectedError):
+            session.execute("DELETE FROM dt WHERE id >= 40")
+        session.cluster.faults.uninstall()
+        handler.recover()
+        rows_once = _select_all(session)
+        handler.recover()
+        assert _select_all(session) == rows_once
+        assert session.execute("SELECT count(*) FROM dt").scalar() == 40
+
+    def test_retryable_crash_mid_publish_self_heals(self, session):
+        """A non-fatal crash during publish is retried in-statement."""
+        make_dualtable(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault("dualtable.dml.publish", nth_hit=1, kind="crash")]))
+        result = session.execute("UPDATE dt SET tag = 'ok' WHERE id < 10")
+        session.cluster.faults.uninstall()
+        assert result.affected == 10
+        assert session.execute(
+            "SELECT count(*) FROM dt WHERE tag = 'ok'").scalar() == 10
+
+    def test_no_acked_edit_lost_across_region_crash(self, session):
+        """Acked DML survives a region-server crash (WAL replay)."""
+        make_dualtable(session)
+        session.execute("UPDATE dt SET tag = 'acked' WHERE id < 25")
+        session.hbase.crash_region_server()
+        assert session.execute(
+            "SELECT count(*) FROM dt WHERE tag = 'acked'").scalar() == 25

@@ -1,0 +1,115 @@
+"""WAL durability: region-server crashes lose no acknowledged edit."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterProfile
+from repro.hbase import HBaseService
+
+
+@pytest.fixture
+def service():
+    return HBaseService(Cluster(ClusterProfile.laptop()))
+
+
+def _rows(table):
+    return {row: {q: v for q, v in cells.items()}
+            for row, cells in table.scan()}
+
+
+class TestRegionWAL:
+    def test_crash_wipes_memstore_recover_replays(self, service):
+        table = service.create_table("t")
+        table.put(b"r1", {b"q": b"v1"})
+        table.put(b"r2", {b"q": b"v2"})
+        region = table.regions[0]
+        lost = region.crash()
+        assert lost == 2
+        assert region.memstore.size_bytes == 0
+        replayed = region.recover()
+        assert replayed > 0
+        assert _rows(table) == {b"r1": {b"q": b"v1"}, b"r2": {b"q": b"v2"}}
+
+    def test_region_recover_is_idempotent(self, service):
+        table = service.create_table("t")
+        table.put(b"r", {b"q": b"v"})
+        region = table.regions[0]
+        region.crash()
+        region.recover()
+        region.recover()
+        assert _rows(table) == {b"r": {b"q": b"v"}}
+        assert len(list(region.memstore.scan())) == 1
+
+    def test_flush_clears_wal(self, service):
+        table = service.create_table("t")
+        table.put(b"r", {b"q": b"v"})
+        region = table.regions[0]
+        assert region.wal
+        region.flush()
+        assert region.wal == []
+        # Post-flush crash loses nothing: data lives in an HFile.
+        assert region.crash() == 0
+        assert _rows(table) == {b"r": {b"q": b"v"}}
+
+    def test_wal_covers_only_unflushed_tail(self, service):
+        table = service.create_table("t")
+        table.put(b"r1", {b"q": b"old"})
+        table.flush()
+        table.put(b"r2", {b"q": b"new"})
+        region = table.regions[0]
+        region.crash()
+        region.recover()
+        assert _rows(table) == {b"r1": {b"q": b"old"},
+                                b"r2": {b"q": b"new"}}
+
+
+class TestServiceCrash:
+    def test_acked_edits_survive_service_crash(self, service):
+        table = service.create_table("t")
+        for i in range(10):
+            table.put(b"row%02d" % i, {b"q": b"v%d" % i})
+        before = _rows(table)
+        assert service.crash_region_server() == 10
+        # No explicit recover call: the next read auto-replays.
+        assert _rows(table) == before
+
+    def test_deletes_survive_crash(self, service):
+        table = service.create_table("t")
+        table.put(b"a", {b"q": b"v"})
+        table.put(b"b", {b"q": b"v"})
+        table.delete_row(b"a")
+        service.crash_region_server()
+        assert _rows(table) == {b"b": {b"q": b"v"}}
+
+    def test_wal_replay_charged_to_ledger(self, service):
+        table = service.create_table("t")
+        table.put(b"r", {b"q": b"value-bytes"})
+        service.crash_region_server()
+        service.recover()
+        assert service.cluster.ledger.seconds_for(
+            "hbase", "wal_replay") > 0
+
+    def test_system_table_replay_uncharged(self, service):
+        table = service.create_table("meta", system=True)
+        table.put(b"r", {b"q": b"v"})
+        service.crash_region_server()
+        service.recover()
+        assert service.cluster.ledger.seconds_for(
+            "hbase", "wal_replay") == 0
+        assert _rows(table) == {b"r": {b"q": b"v"}}
+
+    def test_service_recover_is_idempotent(self, service):
+        table = service.create_table("t")
+        table.put(b"r", {b"q": b"v"})
+        service.crash_region_server()
+        service.recover()
+        service.recover()
+        assert _rows(table) == {b"r": {b"q": b"v"}}
+
+    def test_multi_region_crash_recovery(self, service):
+        table = service.create_table("t", split_points=(b"m",))
+        table.put(b"a", {b"q": b"left"})
+        table.put(b"z", {b"q": b"right"})
+        assert len(table.regions) == 2
+        service.crash_region_server()
+        assert _rows(table) == {b"a": {b"q": b"left"},
+                                b"z": {b"q": b"right"}}

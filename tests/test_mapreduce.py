@@ -100,6 +100,62 @@ class TestExecution:
         runner.run(Job("b", _splits(1), lambda s, c: iter(()), None))
         assert [r.name for r in runner.history] == ["a", "b"]
 
+    def test_map_failure_chains_cause_and_names_task(self, runner):
+        def bad_map(split, ctx):
+            raise ValueError("boom")
+            yield  # pragma: no cover
+
+        with pytest.raises(TaskFailedError) as err:
+            runner.run(Job("badjob", _splits(2), bad_map, None))
+        assert isinstance(err.value.__cause__, ValueError)
+        assert "map task 0 of badjob" in str(err.value)
+        assert "boom" in str(err.value)
+
+    def test_reduce_failure_names_key_and_chains_cause(self, runner):
+        def map_fn(split, ctx):
+            yield "k", 1
+
+        def bad_reduce(key, values, ctx):
+            raise RuntimeError("kaput")
+            yield  # pragma: no cover
+
+        with pytest.raises(TaskFailedError) as err:
+            runner.run(Job("badjob", _splits(1), map_fn, bad_reduce))
+        assert isinstance(err.value.__cause__, RuntimeError)
+        assert "'k'" in str(err.value)
+
+    def test_history_consistent_after_failure(self, runner):
+        runner.run(Job("ok", _splits(1), lambda s, c: iter(()), None))
+
+        def bad_map(split, ctx):
+            raise ValueError("boom")
+            yield  # pragma: no cover
+
+        with pytest.raises(TaskFailedError):
+            runner.run(Job("bad", _splits(1), bad_map, None))
+        assert [r.name for r in runner.history] == ["ok"]
+        runner.run(Job("after", _splits(1), lambda s, c: iter(()), None))
+        assert [r.name for r in runner.history] == ["ok", "after"]
+
+    def test_mixed_type_reduce_keys_sort_deterministically(self, runner):
+        """Python 3 cannot order int vs str keys; the runner must."""
+        def map_fn(split, ctx):
+            yield 2, "int-key"
+            yield "b", "str-key"
+            yield (1, "x"), "tuple-key"
+            yield None, "none-key"
+
+        def reduce_fn(key, values, ctx):
+            yield key, len(list(values))
+
+        result = runner.run(Job("mixed", _splits(2), map_fn, reduce_fn,
+                                num_reducers=1))
+        assert len(result.outputs) == 4
+        # Deterministic across runs: keys grouped by (type name, repr).
+        again = runner.run(Job("mixed2", _splits(2), map_fn, reduce_fn,
+                               num_reducers=1))
+        assert result.outputs == again.outputs
+
 
 class TestTiming:
     def test_job_includes_startup(self, runner):
