@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file produced by ``--profile``.
+
+Checks the structural invariants the tracer promises: every event has
+the required Chrome fields, every span's parent exists, parent kinds
+respect the statement -> job -> task -> substrate taxonomy, and child
+spans are time-contained in their parents.  Exits nonzero (listing the
+violations) when any check fails.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_trace.py out/fig4.trace.json
+    PYTHONPATH=src python scripts/validate_trace.py --require \
+        statement,job,task,substrate out/fig4.trace.json
+"""
+
+import argparse
+import sys
+
+from repro.obs.export import load_trace, validate_trace
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Validate a dualtable-bench --profile trace file.")
+    parser.add_argument("trace", nargs="+", help="trace JSON file(s)")
+    parser.add_argument("--require", default="",
+                        help="comma-separated span kinds that must appear "
+                             "at least once (e.g. statement,job,task)")
+    args = parser.parse_args(argv)
+    require = tuple(k for k in args.require.split(",") if k)
+    failed = False
+    for path in args.trace:
+        try:
+            doc = load_trace(path)
+        except (OSError, ValueError) as exc:
+            print("%s: unreadable: %s" % (path, exc))
+            failed = True
+            continue
+        errors = validate_trace(doc, require_kinds=require)
+        nspans = sum(1 for ev in doc.get("traceEvents", [])
+                     if ev.get("ph") == "X")
+        if errors:
+            print("%s: INVALID (%d span(s), %d error(s))"
+                  % (path, nspans, len(errors)))
+            for error in errors[:50]:
+                print("  - %s" % error)
+            if len(errors) > 50:
+                print("  ... (%d more)" % (len(errors) - 50))
+            failed = True
+        else:
+            print("%s: ok (%d span(s))" % (path, nspans))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,13 +9,14 @@ Usage::
 
 import argparse
 import csv
+import json
 import os
 import sys
 import time
 
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.report import render
-from repro.bench.runners import SCALES
+from repro.bench.runners import SCALES, profiled_experiment
 
 
 def build_parser():
@@ -33,6 +34,12 @@ def build_parser():
     parser.add_argument("--svg", metavar="DIR", default=None,
                         help="also render each chartable experiment to "
                              "DIR/<experiment>.svg")
+    parser.add_argument("--profile", metavar="DIR", default=None,
+                        help="run with tracing enabled and write "
+                             "DIR/<experiment>.trace.json (Chrome "
+                             "trace-event format, load in about:tracing "
+                             "or Perfetto) plus DIR/<experiment>"
+                             ".metrics.json")
     return parser
 
 
@@ -53,7 +60,11 @@ def main(argv=None):
         names = [args.experiment]
     for name in names:
         started = time.time()
-        result = EXPERIMENTS[name](scale=args.scale)
+        if args.profile:
+            result, trace_doc, metrics = profiled_experiment(
+                EXPERIMENTS[name], scale=args.scale)
+        else:
+            result = EXPERIMENTS[name](scale=args.scale)
         print(render(result))
         print("(regenerated in %.1fs wall time at scale=%s)\n"
               % (time.time() - started, args.scale))
@@ -61,7 +72,30 @@ def main(argv=None):
             write_csv(result, args.csv)
         if args.svg:
             write_svg(result, args.svg)
+        if args.profile:
+            write_profile(result, trace_doc, metrics, args.profile)
     return 0
+
+
+def write_profile(result, trace_doc, metrics, directory):
+    """Write one experiment's trace + metrics snapshot under DIR."""
+    from repro.obs import export
+
+    os.makedirs(directory, exist_ok=True)
+    trace_path = os.path.join(directory,
+                              "%s.trace.json" % result.experiment)
+    export.write_trace(trace_path, trace_doc)
+    nspans = sum(1 for ev in trace_doc["traceEvents"]
+                 if ev.get("ph") == "X")
+    print("wrote %s (%d spans)" % (trace_path, nspans))
+    metrics_path = os.path.join(directory,
+                                "%s.metrics.json" % result.experiment)
+    with open(metrics_path, "w") as handle:
+        json.dump(metrics.snapshot(), handle, indent=1, sort_keys=True,
+                  default=str)
+        handle.write("\n")
+    print("wrote %s" % metrics_path)
+    return trace_path
 
 
 def write_svg(result, directory):

@@ -131,6 +131,19 @@ def _apply_grid_scaling(session, counts, scaling_table):
     profile.byte_scale = (paper_rows * GRID_PAPER_ROW_BYTES) / actual_bytes
 
 
+def profiled_experiment(experiment_fn, scale):
+    """Run one experiment under a process-wide trace collector.
+
+    Every cluster the experiment builds internally gets its tracer
+    force-enabled; returns ``(result, trace_doc, metrics_registry)``.
+    """
+    from repro import obs
+
+    with obs.profiling() as collector:
+        result = experiment_fn(scale=scale)
+    return result, collector.trace_document(), collector.merged_metrics()
+
+
 def resolve_scale(scale):
     if isinstance(scale, BenchScale):
         return scale

@@ -26,6 +26,7 @@ from repro.cluster.clock import SimClock
 from repro.cluster.ledger import Charge, MetricsLedger
 from repro.cluster.profile import ClusterProfile
 from repro.faults import FaultInjector
+from repro import obs
 
 
 class Cluster:
@@ -39,6 +40,19 @@ class Cluster:
         #: the shared fault-injection point registry (no-op until a
         #: FaultPlan is installed; see repro.faults).
         self.faults = FaultInjector()
+        #: always-on event metrics (counters/gauges/histograms).
+        self.metrics = obs.MetricsRegistry()
+        #: structured span tracer; disabled unless turned on (or a
+        #: profiling collector is active — see repro.obs.profiling).
+        self.tracer = obs.Tracer(self)
+        self.faults.on_fire = self._record_fault
+        obs.register_cluster(self)
+
+    def _record_fault(self, fault, context):
+        self.metrics.incr("faults.fired")
+        self.metrics.incr("faults.fired.%s" % fault.kind)
+        if self.tracer.enabled:
+            self.tracer.annotate(fault="%s@%s" % (fault.kind, fault.point))
 
     # ------------------------------------------------------------------
     # Cost scopes (used by the MR engine to meter individual tasks).
@@ -127,6 +141,8 @@ class Cluster:
     def reset_accounting(self):
         self.ledger.reset()
         self.clock.reset()
+        self.metrics.reset()
+        self.tracer.clear()
 
     def __repr__(self):
         return "Cluster(profile=%r, t=%.2fs)" % (self.profile.name,

@@ -42,6 +42,8 @@ class CostScope:
     hbase_seconds: float = 0.0
     nbytes: int = 0
     nops: int = 0
+    #: attached (tracer) scopes interleave freely; pushed scopes are LIFO.
+    attached: bool = False
 
     def add(self, charge):
         self.seconds += charge.seconds
@@ -82,10 +84,43 @@ class MetricsLedger:
         return scope
 
     def pop_scope(self, scope):
-        if not self._scopes or self._scopes[-1] is not scope:
-            raise ValueError("cost scopes must be popped LIFO")
-        self._scopes.pop()
+        """Pop a pushed scope; pushed scopes must unwind LIFO.
+
+        Attached (tracer) scopes sitting above the popped scope are left
+        in place — span scopes may outlive a task scope when a traced
+        generator is abandoned mid-iteration.
+        """
+        for i in range(len(self._scopes) - 1, -1, -1):
+            if self._scopes[i] is scope:
+                if any(not s.attached for s in self._scopes[i + 1:]):
+                    raise ValueError("cost scopes must be popped LIFO")
+                del self._scopes[i]
+                return scope
+        raise ValueError("cost scopes must be popped LIFO")
+
+    def attach_scope(self, label=""):
+        """Attach a scope removable by identity in any order (tracing)."""
+        scope = CostScope(label=label, attached=True)
+        self._scopes.append(scope)
         return scope
+
+    def detach_scope(self, scope):
+        """Remove an attached scope; tolerant of resets in between."""
+        try:
+            self._scopes.remove(scope)
+        except ValueError:
+            pass
+        return scope
+
+    def scope(self, label):
+        """The innermost active scope with ``label``, or None."""
+        for scope in reversed(self._scopes):
+            if scope.label == label:
+                return scope
+        return None
+
+    def active_scope_labels(self):
+        return [scope.label for scope in self._scopes]
 
     def bytes_for(self, subsystem, op=None):
         if op is not None:
@@ -110,6 +145,25 @@ class MetricsLedger:
             "seconds": dict(self.seconds_by_key),
             "total_seconds": self.total_seconds,
         }
+
+    def diff(self, before):
+        """Per-key deltas since a :meth:`snapshot`, zero keys dropped.
+
+        Returns the same shape as :meth:`snapshot`; lets callers compute
+        per-statement costs without pushing a scope.
+        """
+        delta = {"total_seconds":
+                 self.total_seconds - before["total_seconds"]}
+        for field, current in (("bytes", self.bytes_by_key),
+                               ("ops", self.ops_by_key),
+                               ("seconds", self.seconds_by_key)):
+            base = before[field]
+            delta[field] = {
+                key: value - base.get(key, 0)
+                for key, value in current.items()
+                if value - base.get(key, 0)
+            }
+        return delta
 
     def reset(self):
         self.bytes_by_key.clear()

@@ -199,24 +199,38 @@ class DualTableHandler(StorageHandler):
     def read_split_with_rids(self, split, ctx):
         """UNION READ of one master file: yields (record_id, values)."""
         payload = split.payload
-        reader = self.master.reader(payload["path"])
-        projection = payload["projection"]
-        stripe_filter = make_stripe_filter(
-            [n for n, _ in reader.schema], payload["ranges"] or {})
-        orc_rows = reader.rows(projection=projection,
-                               stripe_filter=stripe_filter)
-        projection_map = self._projection_map(projection)
-        deltas = self.attached.scan_file(payload["file_id"])
-        nrows = 0
-        for item in union_read_file(payload["file_id"], orc_rows, deltas,
-                                    projection_map):
-            nrows += 1
-            yield item
-        # Per-row merge-path invocation overhead (Figure 4).
-        profile = self.env.cluster.profile
-        self.env.cluster.charge_fixed(
-            "cpu", "unionread",
-            nrows * profile.op_scale * profile.unionread_row_cost_s)
+        cluster = self.env.cluster
+        with cluster.tracer.span("substrate",
+                                 "union-read:%d" % payload["file_id"],
+                                 path=payload["path"]) as span:
+            reader = self.master.reader(payload["path"])
+            projection = payload["projection"]
+            stripe_filter = make_stripe_filter(
+                [n for n, _ in reader.schema], payload["ranges"] or {})
+            orc_rows = reader.rows(projection=projection,
+                                   stripe_filter=stripe_filter)
+            projection_map = self._projection_map(projection)
+            deltas = self.attached.scan_file(payload["file_id"])
+            stats = {}
+            nrows = 0
+            for item in union_read_file(payload["file_id"], orc_rows, deltas,
+                                        projection_map, stats=stats):
+                nrows += 1
+                yield item
+            # Per-row merge-path invocation overhead (Figure 4).
+            profile = cluster.profile
+            cluster.charge_fixed(
+                "cpu", "unionread",
+                nrows * profile.op_scale * profile.unionread_row_cost_s)
+            span.annotate(rows=nrows, **stats)
+            metrics = cluster.metrics
+            metrics.incr("unionread.files")
+            metrics.incr("unionread.rows", nrows)
+            if stats.get("deltas_applied"):
+                metrics.incr("unionread.deltas_applied",
+                             stats["deltas_applied"])
+            if stats.get("rows_deleted"):
+                metrics.incr("unionread.rows_deleted", stats["rows_deleted"])
 
     def _projection_map(self, projection):
         schema = self.schema
@@ -311,42 +325,101 @@ class DualTableHandler(StorageHandler):
     def execute_update(self, session, stmt):
         self._check_not_compacting()
         self._ensure_recovered()
-        ratio, total_rows = self._estimate_ratio(stmt.where)
-        d_bytes = self.master.data_bytes()
-        update_cell_bytes = (RECORD_ID_BYTES
-                             + _UPDATE_CELL_BYTES * len(stmt.assignments))
-        assignment_columns = set()
-        for _, expr in stmt.assignments:
-            assignment_columns |= referenced_columns(expr)
-        scan_bytes = self._edit_scan_bytes(stmt.where, assignment_columns)
-        choice = self.cost_model().choose_update_plan(
-            d_bytes, total_rows, ratio, update_cell_bytes,
-            edit_scan_bytes=scan_bytes)
-        plan = self._forced_or(choice.plan)
+        with self.env.cluster.tracer.span(
+                "phase", "dualtable:plan", table=self.table.name,
+                dml="update") as span:
+            ratio, total_rows = self._estimate_ratio(stmt.where)
+            d_bytes = self.master.data_bytes()
+            update_cell_bytes = (RECORD_ID_BYTES
+                                 + _UPDATE_CELL_BYTES * len(stmt.assignments))
+            assignment_columns = set()
+            for _, expr in stmt.assignments:
+                assignment_columns |= referenced_columns(expr)
+            scan_bytes = self._edit_scan_bytes(stmt.where, assignment_columns)
+            choice = self.cost_model().choose_update_plan(
+                d_bytes, total_rows, ratio, update_cell_bytes,
+                edit_scan_bytes=scan_bytes)
+            plan = self._forced_or(choice.plan)
+            self._annotate_choice(span, choice, plan)
         detail = self._detail(choice, plan)
         self.metadata.record_ratio(self.table.name, ratio)
+        self._note_plan_choice(plan, choice)
         if plan == "overwrite":
             info = session.metastore.table(self.table.name)
-            return session.update_via_overwrite(info, stmt,
-                                                extra_detail=detail)
-        return self._edit_update(session, stmt, detail)
+            result = session.update_via_overwrite(info, stmt,
+                                                  extra_detail=detail)
+        else:
+            result = self._edit_update(session, stmt, detail)
+        self._audit_cost_model(choice, plan, result)
+        return result
 
     def execute_delete(self, session, stmt):
         self._check_not_compacting()
         self._ensure_recovered()
-        ratio, total_rows = self._estimate_ratio(stmt.where)
-        d_bytes = self.master.data_bytes()
-        scan_bytes = self._edit_scan_bytes(stmt.where)
-        choice = self.cost_model().choose_delete_plan(
-            d_bytes, total_rows, ratio, edit_scan_bytes=scan_bytes)
-        plan = self._forced_or(choice.plan)
+        with self.env.cluster.tracer.span(
+                "phase", "dualtable:plan", table=self.table.name,
+                dml="delete") as span:
+            ratio, total_rows = self._estimate_ratio(stmt.where)
+            d_bytes = self.master.data_bytes()
+            scan_bytes = self._edit_scan_bytes(stmt.where)
+            choice = self.cost_model().choose_delete_plan(
+                d_bytes, total_rows, ratio, edit_scan_bytes=scan_bytes)
+            plan = self._forced_or(choice.plan)
+            self._annotate_choice(span, choice, plan)
         detail = self._detail(choice, plan)
         self.metadata.record_ratio(self.table.name, ratio)
+        self._note_plan_choice(plan, choice)
         if plan == "overwrite":
             info = session.metastore.table(self.table.name)
-            return session.delete_via_overwrite(info, stmt,
-                                                extra_detail=detail)
-        return self._edit_delete(session, stmt, detail)
+            result = session.delete_via_overwrite(info, stmt,
+                                                  extra_detail=detail)
+        else:
+            result = self._edit_delete(session, stmt, detail)
+        self._audit_cost_model(choice, plan, result)
+        return result
+
+    @staticmethod
+    def _annotate_choice(span, choice, plan):
+        span.annotate(plan=plan, cost_plan=choice.plan,
+                      ratio=round(choice.ratio, 6),
+                      edit_seconds=round(choice.edit_seconds, 6),
+                      overwrite_seconds=round(choice.overwrite_seconds, 6))
+
+    def _note_plan_choice(self, plan, choice):
+        metrics = self.env.cluster.metrics
+        metrics.incr("dualtable.plan.%s" % plan)
+        if self.mode != "cost" and plan != choice.plan:
+            metrics.incr("dualtable.plan.forced")
+
+    def _audit_cost_model(self, choice, plan, result):
+        """Record predicted-vs-observed cost for the chosen plan.
+
+        The model's estimate covers device time for the plan's I/O; the
+        observation is the whole statement's ledger-derived run time
+        (startup, task overheads and commit included), so the relative
+        error measures how faithfully Section IV's equations track the
+        measured world — the audit SynchroStore-style systems feed back
+        into their planners.
+        """
+        predicted = (choice.edit_seconds if plan == "edit"
+                     else choice.overwrite_seconds)
+        observed = result.sim_seconds
+        rel_error = (abs(predicted - observed) / observed
+                     if observed > 0 else 0.0)
+        audit = {"plan": plan,
+                 "predicted_seconds": predicted,
+                 "observed_seconds": observed,
+                 "rel_error": rel_error}
+        result.detail["audit"] = audit
+        cluster = self.env.cluster
+        cluster.metrics.incr("costmodel.audits")
+        cluster.metrics.observe("costmodel.rel_error", rel_error)
+        cluster.metrics.observe("costmodel.rel_error.%s" % plan, rel_error)
+        cluster.metrics.gauge(
+            "dualtable.attached_bytes.%s" % self.table.name,
+            self.attached.size_bytes)
+        cluster.tracer.annotate(cost_audit=dict(audit))
+        return audit
 
     def _forced_or(self, cost_plan):
         if self.mode == "cost":
@@ -399,7 +472,9 @@ class DualTableHandler(StorageHandler):
         job = Job(name="update-edit", splits=splits, map_fn=map_fn,
                   reduce_fn=None)
         result = session.runner.run(job)
-        commit_seconds = batch.commit(session)
+        with self.env.cluster.tracer.span("phase", "dualtable:edit-commit",
+                                          table=self.table.name):
+            commit_seconds = batch.commit(session)
         jobs = session._dml_subquery_jobs + [result]
         sub = sum(j.sim_seconds for j in session._dml_subquery_jobs)
         return QueryResult(
@@ -433,7 +508,9 @@ class DualTableHandler(StorageHandler):
         job = Job(name="delete-edit", splits=splits, map_fn=map_fn,
                   reduce_fn=None)
         result = session.runner.run(job)
-        commit_seconds = batch.commit(session)
+        with self.env.cluster.tracer.span("phase", "dualtable:edit-commit",
+                                          table=self.table.name):
+            commit_seconds = batch.commit(session)
         jobs = session._dml_subquery_jobs + [result]
         sub = sum(j.sim_seconds for j in session._dml_subquery_jobs)
         return QueryResult(
@@ -452,20 +529,30 @@ class DualTableHandler(StorageHandler):
                                detail={"attached_bytes": 0})
         attached_bytes = self.attached.size_bytes
         self._compacting = True
+        cluster = self.env.cluster
         try:
-            splits = self._compact_splits()
+            with cluster.tracer.span("phase", "dualtable:compact",
+                                     table=self.table.name,
+                                     attached_bytes=attached_bytes):
+                splits = self._compact_splits()
 
-            def map_fn(split, ctx):
-                yield from self.read_split(split, ctx)
+                def map_fn(split, ctx):
+                    yield from self.read_split(split, ctx)
 
-            job = Job(name="compact", splits=splits, map_fn=map_fn,
-                      reduce_fn=None)
-            result = session.runner.run(job)
-            write_seconds = run_with_retries(
-                session, lambda: self._commit_compact(result.outputs),
-                "compact-commit")
+                job = Job(name="compact", splits=splits, map_fn=map_fn,
+                          reduce_fn=None)
+                result = session.runner.run(job)
+                write_seconds = run_with_retries(
+                    session, lambda: self._commit_compact(result.outputs),
+                    "compact-commit")
         finally:
             self._compacting = False
+        cluster.metrics.incr("dualtable.compacts")
+        cluster.metrics.observe("dualtable.compact.folded_bytes",
+                                attached_bytes)
+        cluster.metrics.gauge(
+            "dualtable.attached_bytes.%s" % self.table.name,
+            self.attached.size_bytes)
         return QueryResult(
             sim_seconds=result.sim_seconds + write_seconds,
             jobs=[result], affected=len(result.outputs),

@@ -22,6 +22,7 @@ def update_udtf(attached, record_id, new_values, ctx=None):
     attached.put_update(record_id, new_values)
     if ctx is not None:
         ctx.incr("updated")
+        ctx.cluster.metrics.incr("udtf.updates")
 
 
 def delete_udtf(attached, record_id, ctx=None):
@@ -29,3 +30,4 @@ def delete_udtf(attached, record_id, ctx=None):
     attached.put_delete(record_id)
     if ctx is not None:
         ctx.incr("deleted")
+        ctx.cluster.metrics.incr("udtf.deletes")

@@ -9,7 +9,8 @@ using a divide-and-conquer strategy" of Section III-C.
 from repro.core.record_id import encode_record_id
 
 
-def union_read_file(file_id, orc_rows, delta_items, projection_map):
+def union_read_file(file_id, orc_rows, delta_items, projection_map,
+                    stats=None):
     """Merge one master file with its attached deltas.
 
     ``orc_rows``        — iterator of ``(row_number, values_tuple)`` from the
@@ -18,29 +19,41 @@ def union_read_file(file_id, orc_rows, delta_items, projection_map):
                           record id, covering this file's key range;
     ``projection_map``  — ``{schema_column_index: projected_position}`` so
                           update cells can be applied onto projected tuples.
+    ``stats``           — optional dict; on exhaustion holds the merge
+                          counters ``deltas_applied`` and ``rows_deleted``
+                          (observability hooks, no cost impact).
 
     Yields ``(record_id, merged_values_tuple)`` with deleted rows skipped.
     """
+    applied = 0
+    deleted = 0
     delta_iter = iter(delta_items)
     current = next(delta_iter, None)
-    for row_number, values in orc_rows:
-        record_id = encode_record_id(file_id, row_number)
-        while current is not None and current[0] < record_id:
-            current = next(delta_iter, None)
-        if current is not None and current[0] == record_id:
-            delta = current[1]
-            current = next(delta_iter, None)
-            if delta.deleted:
-                continue
-            if delta.updates:
-                merged = list(values)
-                for column_index, new_value in delta.updates.items():
-                    position = projection_map.get(column_index)
-                    if position is not None:
-                        merged[position] = new_value
-                yield record_id, tuple(merged)
-                continue
-        yield record_id, values
+    try:
+        for row_number, values in orc_rows:
+            record_id = encode_record_id(file_id, row_number)
+            while current is not None and current[0] < record_id:
+                current = next(delta_iter, None)
+            if current is not None and current[0] == record_id:
+                delta = current[1]
+                current = next(delta_iter, None)
+                if delta.deleted:
+                    deleted += 1
+                    continue
+                if delta.updates:
+                    applied += 1
+                    merged = list(values)
+                    for column_index, new_value in delta.updates.items():
+                        position = projection_map.get(column_index)
+                        if position is not None:
+                            merged[position] = new_value
+                    yield record_id, tuple(merged)
+                    continue
+            yield record_id, values
+    finally:
+        if stats is not None:
+            stats["deltas_applied"] = applied
+            stats["rows_deleted"] = deleted
 
 
 def apply_delta_to_row(values, delta, projection_map):

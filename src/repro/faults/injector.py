@@ -130,6 +130,9 @@ class FaultInjector:
         self._paused = 0
         #: (fault, context) pairs that actually fired, in order.
         self.fired = []
+        #: optional observer called as ``on_fire(fault, context)`` before
+        #: the fault's action/raise (the cluster binds metrics here).
+        self.on_fire = None
 
     # ------------------------------------------------------------------
     # Plan management.
@@ -191,6 +194,8 @@ class FaultInjector:
 
     def _fire(self, fault, context):
         self.fired.append((fault, dict(context)))
+        if self.on_fire is not None:
+            self.on_fire(fault, context)
         action = self._actions.get(fault.kind)
         if action is not None:
             action(fault)

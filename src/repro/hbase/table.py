@@ -198,6 +198,7 @@ class HBaseService:
             for region in table.regions:
                 lost += region.crash()
         self._crashed = True
+        self.cluster.metrics.incr("hbase.region_crashes")
         return lost
 
     def ensure_available(self):
@@ -213,15 +214,20 @@ class HBaseService:
         Returns the data-path WAL bytes replayed.
         """
         self._crashed = False
-        replayed = 0
-        for table in self._tables.values():
-            table_bytes = sum(r.recover() for r in table.regions)
-            if not table.system:
-                replayed += table_bytes
-        if replayed:
-            self.cluster._charge(
-                "hbase", "wal_replay", nbytes=replayed, nops=1,
-                rate=self.cluster.profile.hbase_write_bps)
+        with self.cluster.tracer.span("substrate", "hbase:wal_replay") \
+                as span:
+            replayed = 0
+            for table in self._tables.values():
+                table_bytes = sum(r.recover() for r in table.regions)
+                if not table.system:
+                    replayed += table_bytes
+            if replayed:
+                self.cluster._charge(
+                    "hbase", "wal_replay", nbytes=replayed, nops=1,
+                    rate=self.cluster.profile.hbase_write_bps)
+            span.annotate(replayed_bytes=replayed)
+        self.cluster.metrics.incr("hbase.wal_replays")
+        self.cluster.metrics.observe("hbase.wal_replay_bytes", replayed)
         return replayed
 
     def create_table(self, name, split_points=(), system=False):

@@ -78,8 +78,9 @@ class HdfsFileSystem:
 
     def write_file(self, path, data):
         """Create ``path`` holding ``data`` in one call."""
-        with self.create(path) as handle:
-            handle.write(data)
+        with self.cluster.tracer.span("substrate", "hdfs:write", path=path):
+            with self.create(path) as handle:
+                handle.write(data)
         return len(data)
 
     def _write_block(self, inode, data):
@@ -104,7 +105,8 @@ class HdfsFileSystem:
         for block in inode.blocks:
             out.write(self.namenode.read_block(block))
         data = out.getvalue()
-        self.cluster.charge_hdfs_read(len(data))
+        with self.cluster.tracer.span("substrate", "hdfs:read", path=path):
+            self.cluster.charge_hdfs_read(len(data))
         return data
 
     def read_file_silent(self, path):
@@ -114,7 +116,8 @@ class HdfsFileSystem:
 
     def charge_read(self, nbytes):
         """Charge a partial sequential read (columnar projection reads)."""
-        self.cluster.charge_hdfs_read(nbytes)
+        with self.cluster.tracer.span("substrate", "hdfs:read"):
+            self.cluster.charge_hdfs_read(nbytes)
 
     # ------------------------------------------------------------------
     # Namespace.
@@ -154,13 +157,17 @@ class HdfsFileSystem:
     # Failure injection.
     # ------------------------------------------------------------------
     def kill_datanode(self, index):
+        self.cluster.metrics.incr("hdfs.datanodes_killed")
         self.datanodes[index].kill()
 
     def revive_datanode(self, index):
         self.datanodes[index].revive()
 
     def re_replicate(self):
-        return self.namenode.re_replicate()
+        restored = self.namenode.re_replicate()
+        if restored:
+            self.cluster.metrics.incr("hdfs.re_replicated_blocks", restored)
+        return restored
 
     def _file_inode(self, path):
         inode = self.namenode.lookup(path)

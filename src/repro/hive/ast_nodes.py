@@ -250,8 +250,16 @@ class ShowPartitionsStmt(Statement):
 
 
 @dataclass
+class ShowMetricsStmt(Statement):
+    pass
+
+
+@dataclass
 class ExplainStmt(Statement):
     statement: Statement = None
+    #: EXPLAIN ANALYZE: execute the statement and annotate the plan with
+    #: observed seconds/bytes/rows (PostgreSQL semantics: DML mutates).
+    analyze: bool = False
 
 
 @dataclass

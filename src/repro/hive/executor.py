@@ -132,8 +132,11 @@ class SelectExecutor:
         if stmt.source is None:
             return self._constant_select(stmt)
         items = self._expand_stars_early(stmt)
-        relation = self._execute_from(stmt, items)
-        return self._finalize(stmt, items, relation)
+        tracer = self.cluster.tracer
+        with tracer.span("phase", "select:from"):
+            relation = self._execute_from(stmt, items)
+        with tracer.span("phase", "select:finalize"):
+            return self._finalize(stmt, items, relation)
 
     def _union_all(self, stmt):
         """Concatenate branch results (schemas must agree in arity)."""

@@ -1,19 +1,26 @@
-"""EXPLAIN: describe how a statement would execute, without executing it.
+"""EXPLAIN and EXPLAIN ANALYZE.
 
-For SELECTs the plan shows scans (with projection/pruning decisions),
-joins, aggregation and ordering.  For UPDATE/DELETE on a DualTable the
+Plain EXPLAIN describes how a statement would execute, without executing
+it: for SELECTs the plan shows scans (with projection/pruning decisions),
+joins, aggregation and ordering; for UPDATE/DELETE on a DualTable the
 plan shows the cost evaluator's full reasoning — estimated modification
-ratio, the EDIT and OVERWRITE cost estimates, and the chosen plan — which
-is the most useful observability hook this system has.
+ratio, the EDIT and OVERWRITE cost estimates, and the chosen plan.
+
+EXPLAIN ANALYZE *executes* the statement (PostgreSQL semantics: DML
+really mutates) with tracing force-enabled and appends the observed
+section — per-job seconds/bytes/tasks, per-device ledger deltas, and for
+DualTable DML the cost-model audit line comparing the model's predicted
+cost of the chosen plan against the ledger-observed run time.
 """
 
+from repro.common.units import fmt_bytes
 from repro.hive import ast_nodes as ast
 from repro.hive.expressions import (contains_aggregate, referenced_columns,
                                     walk)
 from repro.hive.pushdown import extract_ranges
 
 
-def explain(session, stmt):
+def explain(session, stmt, analyze=False):
     from repro.hive.session import QueryResult
 
     lines = []
@@ -42,8 +49,100 @@ def explain(session, stmt):
                         "major" if stmt.major else "minor"))
     else:
         lines.append("statement: %s" % type(stmt).__name__)
+    if not analyze:
+        return QueryResult(names=["plan"], rows=[(line,) for line in lines],
+                           plan="explain")
+    result, delta, spans = _execute_for_analyze(session, stmt)
+    lines.append("")
+    _analyze_lines(result, delta, spans, lines)
+    detail = dict(result.detail)
+    detail["observed"] = delta
     return QueryResult(names=["plan"], rows=[(line,) for line in lines],
-                       plan="explain")
+                       plan="explain-analyze",
+                       sim_seconds=result.sim_seconds, jobs=result.jobs,
+                       affected=result.affected, detail=detail)
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE: execute under forced tracing, annotate the plan.
+# ----------------------------------------------------------------------
+def _execute_for_analyze(session, stmt):
+    cluster = session.cluster
+    tracer = cluster.tracer
+    was_enabled = tracer.enabled
+    tracer.enable()
+    mark = len(tracer.spans)
+    before = cluster.ledger.snapshot()
+    try:
+        result = session.execute_statement(stmt)
+    finally:
+        if not was_enabled:
+            tracer.disable()
+    delta = cluster.ledger.diff(before)
+    spans = list(tracer.spans[mark:])
+    if not was_enabled:
+        # Don't leak force-enabled spans into a user's (disabled) trace.
+        del tracer.spans[mark:]
+    return result, delta, spans
+
+
+def _analyze_lines(result, delta, spans, lines):
+    lines.append("== observed (statement executed) ==")
+    summary = "total: %.2fs simulated" % result.sim_seconds
+    if result.affected is not None:
+        summary += ", %d row(s) affected" % result.affected
+    elif result.rows:
+        summary += ", %d row(s)" % len(result.rows)
+    summary += ", %d job(s)" % len(result.jobs)
+    lines.append(summary)
+    job_spans = _match_job_spans(result.jobs, spans)
+    for job, span in zip(result.jobs, job_spans):
+        line = ("job %s: %.2fs (%d map + %d reduce tasks; map %.2fs, "
+                "shuffle %.2fs, reduce %.2fs"
+                % (job.name, job.sim_seconds, job.num_map_tasks,
+                   job.num_reduce_tasks, job.map_seconds,
+                   job.shuffle_seconds, job.reduce_seconds))
+        if span is not None:
+            line += ", hbase %.2fs; %s charged" % (span.hbase_seconds,
+                                                   fmt_bytes(span.nbytes))
+        if job.counters.get("task_retries"):
+            line += "; %d retr%s" % (job.counters["task_retries"],
+                                     "y" if job.counters["task_retries"] == 1
+                                     else "ies")
+        if job.counters.get("speculative_tasks"):
+            line += "; %d speculative" % job.counters["speculative_tasks"]
+        lines.append("  " + line + ")")
+    phase_spans = [s for s in spans if s.kind == "phase"
+                   and s.name.startswith("dualtable:")]
+    for span in phase_spans:
+        lines.append("  phase %s: %.2fs (%s charged)"
+                     % (span.name, span.seconds, fmt_bytes(span.nbytes)))
+    io_parts = sorted(delta["seconds"].items(), key=lambda kv: -kv[1])
+    if io_parts:
+        lines.append("io: " + "; ".join(
+            "%s.%s %s / %.2fs"
+            % (sub, op, fmt_bytes(delta["bytes"].get((sub, op), 0)), secs)
+            for (sub, op), secs in io_parts[:8]))
+    audit = result.detail.get("audit")
+    if audit is not None:
+        lines.append(
+            "cost-model audit: plan=%s predicted=%.2fs observed=%.2fs "
+            "rel_error=%.1f%%"
+            % (audit["plan"], audit["predicted_seconds"],
+               audit["observed_seconds"], 100.0 * audit["rel_error"]))
+
+
+def _match_job_spans(jobs, spans):
+    """Pair JobResults with their job spans by name, in order."""
+    by_name = {}
+    for span in spans:
+        if span.kind == "job":
+            by_name.setdefault(span.name, []).append(span)
+    matched = []
+    for job in jobs:
+        queue = by_name.get(job.name)
+        matched.append(queue.pop(0) if queue else None)
+    return matched
 
 
 # ----------------------------------------------------------------------

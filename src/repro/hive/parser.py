@@ -102,7 +102,14 @@ class Parser:
 
     def _statement(self):
         if self.accept_kw("explain"):
-            return ast.ExplainStmt(statement=self._statement())
+            # ANALYZE is not a reserved word; accept it as a bare ident.
+            analyze = False
+            token = self.peek()
+            if token.kind == "ident" and token.value.lower() == "analyze":
+                self.advance()
+                analyze = True
+            return ast.ExplainStmt(statement=self._statement(),
+                                   analyze=analyze)
         if self.check_kw("select"):
             return self.parse_query()
         if self.check_kw("insert"):
@@ -125,6 +132,10 @@ class Parser:
             self.expect_kw("show")
             if self.accept_kw("partitions"):
                 return ast.ShowPartitionsStmt(table=self.expect_ident())
+            token = self.peek()
+            if token.kind == "ident" and token.value.lower() == "metrics":
+                self.advance()
+                return ast.ShowMetricsStmt()
             self.expect_kw("tables")
             return ast.ShowTablesStmt()
         if self.check_kw("describe"):

@@ -68,6 +68,7 @@ class HiveSession:
         self.metastore = Metastore(self.env)
         self.views = {}
         self._dml_subquery_jobs = []
+        self._stmt_depth = 0
         self._ensure_extended_handlers()
         self._bind_fault_actions()
 
@@ -103,6 +104,33 @@ class HiveSession:
     sql = execute
 
     def execute_statement(self, stmt):
+        """Execute one parsed statement inside a statement-level span.
+
+        The span (a no-op unless ``cluster.tracer`` is enabled) is the
+        root of the statement → job → task → substrate trace hierarchy;
+        the simulated clock advances by the statement's run time once the
+        outermost statement finishes (EXPLAIN ANALYZE and MERGE execute
+        statements reentrantly).
+        """
+        verb = type(stmt).__name__.replace("Stmt", "").lower()
+        self._stmt_depth += 1
+        try:
+            with self.cluster.tracer.span(
+                    "statement", verb,
+                    table=getattr(stmt, "table", None)) as span:
+                result = self._dispatch_statement(stmt)
+                span.annotate(plan=result.plan,
+                              sim_seconds=round(result.sim_seconds, 6),
+                              affected=result.affected)
+        finally:
+            self._stmt_depth -= 1
+        self.cluster.metrics.incr("session.statements")
+        self.cluster.metrics.incr("session.statements.%s" % verb)
+        if self._stmt_depth == 0 and result.sim_seconds > 0:
+            self.cluster.clock.advance(result.sim_seconds)
+        return result
+
+    def _dispatch_statement(self, stmt):
         if isinstance(stmt, (ast.SelectStmt, ast.UnionAllStmt)):
             return self._select(stmt)
         if isinstance(stmt, ast.InsertStmt):
@@ -117,7 +145,11 @@ class HiveSession:
             return execute_merge(self, stmt)
         if isinstance(stmt, ast.ExplainStmt):
             from repro.hive.explain import explain
-            return explain(self, stmt.statement)
+            return explain(self, stmt.statement, analyze=stmt.analyze)
+        if isinstance(stmt, ast.ShowMetricsStmt):
+            return QueryResult(names=["metric", "type", "value"],
+                               rows=self.cluster.metrics.rows(),
+                               plan="show-metrics")
         if isinstance(stmt, ast.CreateTableStmt):
             return self._create_table(stmt)
         if isinstance(stmt, ast.CreateViewStmt):

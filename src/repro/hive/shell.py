@@ -18,9 +18,10 @@ Shell commands: ``!tables``, ``!ledger``, ``!scale N``, ``!help``,
 
 import sys
 
+from repro import obs
 from repro.bench.runners import bench_profile
 from repro.common.errors import ReproError
-from repro.common.units import fmt_seconds
+from repro.common.units import fmt_bytes, fmt_seconds
 from repro.hive.session import HiveSession
 from repro.bench.report import format_table
 
@@ -31,14 +32,16 @@ HELP_TEXT = """\
 Statements end with ';'. Supported: CREATE TABLE ... [PARTITIONED BY
 (...)] STORED AS {ORC|HBASE|DUALTABLE|ACID}, CREATE VIEW, DROP, INSERT
 [PARTITION (...)], SELECT (joins/group by/subqueries/UNION ALL), UPDATE,
-DELETE, MERGE INTO, COMPACT, EXPLAIN, SHOW TABLES, SHOW PARTITIONS,
-DESCRIBE, ALTER TABLE ... DROP PARTITION.
+DELETE, MERGE INTO, COMPACT, EXPLAIN [ANALYZE], SHOW TABLES,
+SHOW PARTITIONS, SHOW METRICS, DESCRIBE, ALTER TABLE ... DROP PARTITION.
 
 Shell commands:
   !tables          list tables with storage kind and row counts
   !ledger          simulated-I/O totals per subsystem
   !scale N         set byte/op scale (emulate N-x larger data)
   !help            this text
+  TRACE ON|OFF     toggle span tracing (per-statement I/O deltas)
+  TRACE EXPORT F   write collected spans to F as Chrome trace JSON
   quit / exit      leave the shell
 """
 
@@ -68,13 +71,51 @@ class HiveShell:
         if stripped.startswith("!"):
             self._shell_command(stripped[1:])
             return True
+        if lowered.split() and lowered.split()[0] == "trace":
+            self._trace_command(stripped.split()[1:])
+            return True
+        before = (self.session.cluster.ledger.snapshot()
+                  if self.session.cluster.tracer.enabled else None)
         try:
             result = self.session.execute(stripped)
         except ReproError as exc:
             self._print("ERROR: %s" % exc)
             return True
         self._render(result)
+        if before is not None:
+            self._render_delta(self.session.cluster.ledger.diff(before))
         return True
+
+    def _trace_command(self, args):
+        tracer = self.session.cluster.tracer
+        mode = args[0].lower() if args else ""
+        if mode == "on":
+            tracer.enable()
+            self._print("tracing ON (spans recorded; per-statement I/O "
+                        "deltas shown)")
+        elif mode == "off":
+            tracer.disable()
+            self._print("tracing OFF (%d span(s) retained; TRACE EXPORT "
+                        "<file> to save)" % len(tracer.spans))
+        elif mode == "export" and len(args) == 2:
+            doc = obs.export.tracer_trace(
+                tracer, metrics=self.session.cluster.metrics.snapshot(),
+                label="shell")
+            obs.export.write_trace(args[1], doc)
+            self._print("wrote %d span(s) to %s"
+                        % (len(tracer.spans), args[1]))
+        else:
+            self._print("usage: TRACE ON | TRACE OFF | TRACE EXPORT <file>")
+
+    def _render_delta(self, delta):
+        parts = sorted(delta["seconds"].items(), key=lambda kv: -kv[1])
+        if not parts:
+            return
+        self._print("io: " + "; ".join(
+            "%s.%s %s/%s" % (sub, op,
+                             fmt_bytes(delta["bytes"].get((sub, op), 0)),
+                             fmt_seconds(secs))
+            for (sub, op), secs in parts[:6]))
 
     def _render(self, result):
         if result.rows:

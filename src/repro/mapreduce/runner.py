@@ -69,30 +69,52 @@ class JobRunner:
     def run(self, job):
         profile = self.cluster.profile
         counters = defaultdict(int)
-        with self.cluster.cost_scope("job:%s" % job.name) as job_scope:
-            self.cluster.charge_fixed("mapreduce", "job_startup",
-                                      profile.job_startup_s)
-            map_entries, map_outputs = self._run_maps(job, counters)
-            if job.is_map_only:
-                outputs = [record for _, records in map_outputs
-                           for record in records]
-                shuffle_seconds = 0.0
-                shuffle_bytes = 0
-                reduce_entries = []
-            else:
-                (shuffle_seconds, shuffle_bytes, reduce_entries,
-                 outputs) = self._run_reduces(job, map_outputs, counters)
+        with self.cluster.tracer.span("job", job.name,
+                                      splits=len(job.splits)) as job_span:
+            with self.cluster.cost_scope("job:%s" % job.name) as job_scope:
+                self.cluster.charge_fixed("mapreduce", "job_startup",
+                                          profile.job_startup_s)
+                map_entries, map_outputs = self._run_maps(job, counters)
+                if job.is_map_only:
+                    outputs = [record for _, records in map_outputs
+                               for record in records]
+                    shuffle_seconds = 0.0
+                    shuffle_bytes = 0
+                    reduce_entries = []
+                else:
+                    (shuffle_seconds, shuffle_bytes, reduce_entries,
+                     outputs) = self._run_reduces(job, map_outputs, counters)
 
-        map_durations = self._finish_durations(map_entries, counters)
-        reduce_durations = self._finish_durations(reduce_entries, counters)
-        map_seconds = _makespan(map_durations, profile.total_map_slots)
-        reduce_seconds = _makespan(reduce_durations,
-                                   profile.total_reduce_slots)
-        # HBase region servers are a shared resource: the job pays its
-        # total HBase time serially, on top of the parallel task phases.
-        sim_seconds = (profile.job_startup_s + map_seconds
-                       + shuffle_seconds + reduce_seconds
-                       + job_scope.hbase_seconds)
+            map_durations = self._finish_durations(map_entries, counters)
+            reduce_durations = self._finish_durations(reduce_entries,
+                                                      counters)
+            map_seconds = _makespan(map_durations, profile.total_map_slots)
+            reduce_seconds = _makespan(reduce_durations,
+                                       profile.total_reduce_slots)
+            # HBase region servers are a shared resource: the job pays its
+            # total HBase time serially, on top of the parallel task phases.
+            sim_seconds = (profile.job_startup_s + map_seconds
+                           + shuffle_seconds + reduce_seconds
+                           + job_scope.hbase_seconds)
+            job_span.annotate(
+                sim_seconds=round(sim_seconds, 6),
+                map_seconds=round(map_seconds, 6),
+                shuffle_seconds=round(shuffle_seconds, 6),
+                reduce_seconds=round(reduce_seconds, 6),
+                map_tasks=len(map_durations),
+                reduce_tasks=len(reduce_durations),
+                shuffle_bytes=shuffle_bytes,
+                task_retries=counters.get("task_retries", 0),
+                speculative_tasks=counters.get("speculative_tasks", 0))
+        metrics = self.cluster.metrics
+        metrics.incr("mapreduce.jobs")
+        metrics.incr("mapreduce.tasks",
+                     len(map_durations) + len(reduce_durations))
+        if counters.get("task_retries"):
+            metrics.incr("mapreduce.task_retries", counters["task_retries"])
+        if counters.get("speculative_tasks"):
+            metrics.incr("mapreduce.speculative_tasks",
+                         counters["speculative_tasks"])
         result = JobResult(
             name=job.name,
             outputs=outputs,
@@ -128,26 +150,34 @@ class JobRunner:
         for attempt in range(1, max_attempts + 1):
             ctx = TaskContext(self.cluster, task_type, index)
             scope_label = "%s-%d.%d" % (task_type, index, attempt)
-            with self.cluster.cost_scope(scope_label) as scope:
-                try:
-                    fault = self.cluster.faults.hit(
-                        point, job=job.name, task=index, attempt=attempt)
-                    output = attempt_fn(ctx)
-                except Exception as exc:
-                    failed = scope.parallel_seconds + profile.task_overhead_s
-                    if _is_fatal(exc) or attempt == max_attempts:
-                        raise TaskFailedError(describe(exc)) from exc
-                    backoff = profile.retry_backoff_s * (2.0 ** (attempt - 1))
-                    self.cluster.charge_fixed("mapreduce", "retry_backoff",
-                                              backoff)
-                    penalty += failed + backoff
-                    counters["task_retries"] += 1
-                    continue
-            base = scope.parallel_seconds + profile.task_overhead_s
-            if fault is not None and fault.kind == "slow":
-                extra = base * (fault.factor - 1.0)
-                self.cluster.charge_fixed("mapreduce", "straggler", extra)
-                base += extra
+            with self.cluster.tracer.span(
+                    "task", scope_label, job=job.name, task_type=task_type,
+                    task=index, attempt=attempt) as span:
+                with self.cluster.cost_scope(scope_label) as scope:
+                    try:
+                        fault = self.cluster.faults.hit(
+                            point, job=job.name, task=index, attempt=attempt)
+                        output = attempt_fn(ctx)
+                    except Exception as exc:
+                        failed = (scope.parallel_seconds
+                                  + profile.task_overhead_s)
+                        span.annotate(outcome="failed", error=str(exc))
+                        if _is_fatal(exc) or attempt == max_attempts:
+                            raise TaskFailedError(describe(exc)) from exc
+                        backoff = profile.retry_backoff_s \
+                            * (2.0 ** (attempt - 1))
+                        self.cluster.charge_fixed(
+                            "mapreduce", "retry_backoff", backoff)
+                        penalty += failed + backoff
+                        counters["task_retries"] += 1
+                        continue
+                base = scope.parallel_seconds + profile.task_overhead_s
+                if fault is not None and fault.kind == "slow":
+                    extra = base * (fault.factor - 1.0)
+                    self.cluster.charge_fixed("mapreduce", "straggler", extra)
+                    base += extra
+                span.annotate(outcome="ok", base_seconds=round(base, 6),
+                              penalty_seconds=round(penalty, 6))
             return output, base, penalty, ctx
         raise AssertionError("unreachable: final attempt raises")
 

@@ -1,0 +1,147 @@
+"""Chrome trace-event JSON export and schema validation.
+
+Traces load in ``chrome://tracing`` / Perfetto: each span becomes one
+complete event (``ph: "X"``) whose timestamps are the simulated-time axis
+in microseconds.  One traced cluster = one pid; span nesting inside a pid
+follows time containment, which the tracer guarantees (child spans open
+and close within their parent on the cumulative-charge axis).
+
+``validate_trace`` is the schema check used by tests and by
+``scripts/validate_trace.py`` in CI.
+"""
+
+import json
+
+#: simulated seconds -> trace microseconds.
+_US = 1e6
+
+#: the span hierarchy the validator enforces (parent kinds allowed).
+_PARENT_KINDS = {
+    "task": {"job"},
+    "job": {"statement", "phase"},
+    "phase": {"statement", "phase", "job", "task"},
+    "substrate": {"statement", "phase", "job", "task", "substrate"},
+}
+
+
+def span_event(span, pid=1, tid=1):
+    """One span as a Chrome complete event."""
+    args = {"span_id": span.span_id, "parent_id": span.parent_id,
+            "seconds": round(span.seconds, 6),
+            "hbase_seconds": round(span.hbase_seconds, 6),
+            "bytes": span.nbytes, "ops": span.nops}
+    for key, value in span.attrs.items():
+        if value is not None:
+            args.setdefault(key, value)
+    return {
+        "name": span.name,
+        "cat": span.kind,
+        "ph": "X",
+        "ts": round(span.start_s * _US, 3),
+        "dur": round(span.duration_s * _US, 3),
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def trace_document(groups, metrics=None):
+    """Assemble a trace from ``(pid, label, spans)`` groups."""
+    events = []
+    for pid, label, spans in groups:
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "ts": 0,
+                       "args": {"name": label}})
+        events.extend(span_event(span, pid=pid) for span in spans)
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        doc["otherData"] = {"metrics": metrics}
+    return doc
+
+
+def tracer_trace(tracer, metrics=None, label="cluster"):
+    """Trace document for one cluster's tracer."""
+    return trace_document([(1, label, tracer.spans)], metrics=metrics)
+
+
+def write_trace(path, doc):
+    """Write a trace document as JSON; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1, default=str)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Validation (the CI schema check).
+# ----------------------------------------------------------------------
+def validate_trace(doc, require_kinds=()):
+    """Check a trace document; returns a list of error strings.
+
+    Validates the Chrome trace-event envelope, per-event fields, and —
+    via the ``span_id``/``parent_id`` args the exporter embeds — that the
+    span hierarchy nests correctly in both ancestry (a task's parent is a
+    job, a job's a statement/phase) and time containment.
+    ``require_kinds`` additionally demands at least one span of each
+    listed kind (the CI smoke requires the full statement → job → task →
+    substrate chain).
+    """
+    errors = []
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        return ["trace must be an object with a 'traceEvents' list"]
+    events = doc["traceEvents"]
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        errors.append("trace has no complete ('X') span events")
+    by_id = {}
+    for i, event in enumerate(events):
+        where = "event %d (%r)" % (i, event.get("name"))
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            if field not in event:
+                errors.append("%s: missing %r" % (where, field))
+        if event.get("ph") != "X":
+            continue
+        if not isinstance(event.get("dur"), (int, float)) \
+                or event["dur"] < 0:
+            errors.append("%s: 'X' event needs a non-negative dur" % where)
+        if "cat" not in event:
+            errors.append("%s: span event needs a 'cat' kind" % where)
+        args = event.get("args") or {}
+        span_id = args.get("span_id")
+        if span_id is None:
+            errors.append("%s: span event needs args.span_id" % where)
+        else:
+            by_id[(event.get("pid"), span_id)] = event
+    for event in spans:
+        args = event.get("args") or {}
+        parent_id = args.get("parent_id")
+        where = "span %r (id %s)" % (event.get("name"), args.get("span_id"))
+        kind = event.get("cat")
+        if parent_id is None:
+            if kind in ("task",):
+                errors.append("%s: %s span must have a parent" % (where, kind))
+            continue
+        parent = by_id.get((event.get("pid"), parent_id))
+        if parent is None:
+            errors.append("%s: parent %s not in trace" % (where, parent_id))
+            continue
+        allowed = _PARENT_KINDS.get(kind)
+        if allowed is not None and parent.get("cat") not in allowed:
+            errors.append("%s: %s span nested under %s (allowed: %s)"
+                          % (where, kind, parent.get("cat"),
+                             "/".join(sorted(allowed))))
+        eps = 1e-3  # microsecond rounding slack
+        if event["ts"] < parent["ts"] - eps or \
+                event["ts"] + event["dur"] > parent["ts"] + parent["dur"] + eps:
+            errors.append("%s: not time-contained in parent %r"
+                          % (where, parent.get("name")))
+    present = {e.get("cat") for e in spans}
+    for kind in require_kinds:
+        if kind not in present:
+            errors.append("trace has no %r spans" % kind)
+    return errors
+
+
+def load_trace(path):
+    with open(path) as handle:
+        return json.load(handle)

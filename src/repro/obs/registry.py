@@ -1,0 +1,129 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+One :class:`MetricsRegistry` lives on every cluster (``cluster.metrics``)
+and is always on — recording a metric is a dict operation, never a ledger
+charge, so instrumentation cannot perturb simulated time.  The registry
+complements the :class:`~repro.cluster.ledger.MetricsLedger`: the ledger
+answers "how many bytes/seconds did device X cost", the registry answers
+"how many times did event Y happen" (plan choices, fault firings, task
+retries, WAL replays, COMPACT folds...).
+
+Metric names are dotted paths (``dualtable.plan.edit``,
+``mapreduce.task_retries``); see docs/INTERNALS.md for the taxonomy.
+"""
+
+from collections import defaultdict
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max."""
+
+    __slots__ = ("count", "total", "vmin", "vmax")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.vmin = None
+        self.vmax = None
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.vmin = value if self.vmin is None else min(self.vmin, value)
+        self.vmax = value if self.vmax is None else max(self.vmax, value)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self):
+        return {"count": self.count, "sum": self.total,
+                "mean": self.mean, "min": self.vmin, "max": self.vmax}
+
+    def merge(self, other):
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.vmin = other.vmin if self.vmin is None \
+            else min(self.vmin, other.vmin)
+        self.vmax = other.vmax if self.vmax is None \
+            else max(self.vmax, other.vmax)
+
+    def __repr__(self):
+        return ("Histogram(count=%d, mean=%.4g, min=%s, max=%s)"
+                % (self.count, self.mean, self.vmin, self.vmax))
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms for one simulated cluster."""
+
+    def __init__(self):
+        self.counters = defaultdict(int)
+        self.gauges = {}
+        self.histograms = {}
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def incr(self, name, amount=1):
+        self.counters[name] += amount
+
+    def gauge(self, name, value):
+        self.gauges[name] = value
+
+    def observe(self, name, value):
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+    def counter(self, name):
+        return self.counters.get(name, 0)
+
+    def histogram(self, name):
+        return self.histograms.get(name)
+
+    def snapshot(self):
+        """A plain-dict dump (JSON-serializable)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: h.as_dict()
+                           for name, h in self.histograms.items()},
+        }
+
+    def rows(self):
+        """``(metric, type, value)`` rows for table rendering."""
+        rows = [(name, "counter", value)
+                for name, value in self.counters.items()]
+        rows += [(name, "gauge", value)
+                 for name, value in self.gauges.items()]
+        rows += [(name, "histogram",
+                  "count=%d mean=%.4g min=%.4g max=%.4g"
+                  % (h.count, h.mean, h.vmin or 0.0, h.vmax or 0.0))
+                 for name, h in self.histograms.items()]
+        return sorted(rows)
+
+    # ------------------------------------------------------------------
+    # Aggregation / lifecycle.
+    # ------------------------------------------------------------------
+    def merge(self, other):
+        """Fold another registry into this one (profile aggregation)."""
+        for name, value in other.counters.items():
+            self.counters[name] += value
+        self.gauges.update(other.gauges)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
+
+    def reset(self):
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

@@ -101,6 +101,47 @@ class TestLedger:
         assert snap["total_seconds"] == 1.0
         assert snap["bytes"][("hdfs", "read")] == 100
 
+    def test_diff_since_snapshot_drops_zero_keys(self):
+        ledger = MetricsLedger()
+        ledger.record(self._charge(op="read"))
+        before = ledger.snapshot()
+        ledger.record(self._charge(op="write", nbytes=50, seconds=0.5))
+        delta = ledger.diff(before)
+        assert delta["total_seconds"] == 0.5
+        assert delta["bytes"] == {("hdfs", "write"): 50}
+        assert ("hdfs", "read") not in delta["seconds"]
+
+    def test_scope_lookup_by_label(self):
+        ledger = MetricsLedger()
+        outer = ledger.push_scope("job")
+        inner = ledger.push_scope("job")
+        assert ledger.scope("job") is inner
+        assert ledger.scope("missing") is None
+        ledger.pop_scope(inner)
+        assert ledger.scope("job") is outer
+        assert ledger.active_scope_labels() == ["job"]
+
+    def test_attached_scope_detaches_out_of_order(self):
+        ledger = MetricsLedger()
+        pushed = ledger.push_scope("task")
+        span = ledger.attach_scope("span:x")
+        ledger.record(self._charge(seconds=2.0))
+        # attached scope above a pushed one does not break LIFO popping
+        ledger.pop_scope(pushed)
+        assert span.seconds == 2.0
+        ledger.detach_scope(span)
+        ledger.detach_scope(span)  # idempotent
+        assert ledger.active_scope_labels() == []
+
+    def test_attached_scope_tracks_hbase_split(self):
+        ledger = MetricsLedger()
+        span = ledger.attach_scope("span:hb")
+        ledger.record(self._charge(subsystem="hbase", seconds=3.0))
+        ledger.record(self._charge(subsystem="hdfs", seconds=1.0))
+        ledger.detach_scope(span)
+        assert span.hbase_seconds == 3.0
+        assert span.parallel_seconds == 1.0
+
 
 class TestProfile:
     def test_slot_totals(self):

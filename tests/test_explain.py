@@ -103,6 +103,70 @@ class TestExplainDml:
         assert "COMPACT dt" in out
 
 
+class TestExplainDmlHeaders:
+    def test_update_header_names_table_and_storage(self, session):
+        out = text(session.execute("EXPLAIN UPDATE dt SET v = 0"))
+        assert out.startswith("UPDATE dt (storage=dualtable)")
+        assert "SET 1 column(s): v" in out
+
+    def test_delete_header(self, session):
+        out = text(session.execute(
+            "EXPLAIN DELETE FROM dt WHERE day = '2013-07-03'"))
+        assert out.startswith("DELETE FROM dt (storage=dualtable)")
+        assert "cost evaluation" in out
+
+    def test_merge_header(self, session):
+        out = text(session.execute(
+            "EXPLAIN MERGE INTO dt USING ref ON dt.day = ref.day "
+            "WHEN MATCHED THEN UPDATE SET v = 1"))
+        assert out.startswith("MERGE INTO dt (storage=dualtable)")
+        assert "USING ref" in out
+
+
+class TestExplainAnalyze:
+    def test_update_executes_and_reports_observed(self, session):
+        result = session.execute(
+            "EXPLAIN ANALYZE UPDATE dt SET v = -1 "
+            "WHERE day = '2013-07-03'")
+        out = text(result)
+        assert result.plan == "explain-analyze"
+        assert "== observed (statement executed) ==" in out
+        assert "row(s) affected" in out
+        assert "job " in out
+        # PostgreSQL semantics: the DML really ran.
+        touched = session.execute(
+            "SELECT count(*) FROM dt WHERE v = -1").scalar()
+        assert touched == result.affected > 0
+
+    def test_update_shows_cost_model_audit(self, session):
+        out = text(session.execute(
+            "EXPLAIN ANALYZE UPDATE dt SET v = 0 "
+            "WHERE day = '2013-07-05'"))
+        assert "cost-model audit: plan=" in out
+        assert "predicted=" in out and "observed=" in out
+        assert "rel_error=" in out
+
+    def test_analyze_select_reports_rows_and_io(self, session):
+        result = session.execute(
+            "EXPLAIN ANALYZE SELECT count(*) FROM dt")
+        out = text(result)
+        assert "row(s)" in out
+        assert "io: " in out
+        assert "cost-model audit" not in out  # SELECTs aren't audited
+
+    def test_analyze_does_not_leak_spans_when_tracing_off(self, session):
+        assert not session.cluster.tracer.enabled
+        session.execute("EXPLAIN ANALYZE SELECT count(*) FROM dt")
+        assert session.cluster.tracer.spans == []
+        assert not session.cluster.tracer.enabled
+
+    def test_analyze_preserves_enabled_tracer(self, session):
+        session.cluster.tracer.enable()
+        session.execute("EXPLAIN ANALYZE SELECT count(*) FROM dt")
+        assert session.cluster.tracer.enabled
+        assert session.cluster.tracer.spans  # spans kept for the user
+
+
 class TestExplainPartitioned:
     def test_scan_shows_partitioned_storage(self, session):
         session.execute("CREATE TABLE p (a int) PARTITIONED BY (d string)")

@@ -85,6 +85,63 @@ class TestShellCommands:
         assert "unknown shell command" in out.getvalue()
 
 
+class TestObservabilityCommands:
+    def test_trace_on_shows_io_deltas(self, shell):
+        sh, out = shell
+        sh.handle_line("TRACE ON;")
+        assert "tracing ON" in out.getvalue()
+        assert sh.session.cluster.tracer.enabled
+        sh.handle_line("CREATE TABLE t (a int) STORED AS DUALTABLE;")
+        sh.handle_line("INSERT INTO t VALUES (1), (2);")
+        sh.handle_line("SELECT count(*) FROM t;")
+        assert "io: " in out.getvalue()
+        sh.handle_line("TRACE OFF;")
+        assert "tracing OFF" in out.getvalue()
+        assert not sh.session.cluster.tracer.enabled
+
+    def test_trace_export(self, shell, tmp_path):
+        from repro.obs.export import load_trace, validate_trace
+
+        sh, out = shell
+        sh.handle_line("TRACE ON;")
+        sh.handle_line("CREATE TABLE t (a int);")
+        sh.handle_line("INSERT INTO t VALUES (1);")
+        path = tmp_path / "shell.trace.json"
+        sh.handle_line("TRACE EXPORT %s" % path)
+        assert "wrote" in out.getvalue()
+        assert validate_trace(load_trace(str(path))) == []
+
+    def test_trace_usage(self, shell):
+        sh, out = shell
+        sh.handle_line("TRACE sideways;")
+        assert "usage: TRACE" in out.getvalue()
+
+    def test_show_metrics(self, shell):
+        sh, out = shell
+        sh.handle_line("CREATE TABLE t (a int);")
+        sh.handle_line("SHOW METRICS;")
+        text = out.getvalue()
+        assert "session.statements" in text
+        assert "counter" in text
+
+    def test_explain_analyze_renders_audit(self, shell):
+        sh, out = shell
+        sh.handle_line("CREATE TABLE t (a int, b string) "
+                       "STORED AS DUALTABLE;")
+        sh.session.load_rows("t", [(i, "v") for i in range(200)])
+        sh.handle_line("EXPLAIN ANALYZE UPDATE t SET b = 'x' "
+                       "WHERE a < 20;")
+        text = out.getvalue()
+        assert "== observed (statement executed) ==" in text
+        assert "cost-model audit" in text
+
+    def test_no_io_deltas_when_tracing_off(self, shell):
+        sh, out = shell
+        sh.handle_line("CREATE TABLE t (a int);")
+        sh.handle_line("INSERT INTO t VALUES (1);")
+        assert "io: " not in out.getvalue()
+
+
 class TestRunLoop:
     def test_scripted_session(self):
         session = HiveSession(profile=ClusterProfile.laptop())
