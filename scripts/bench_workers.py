@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Worker-count sweep over the grid update-sweep figure (fig5).
+
+Runs the same experiment once per worker count, asserts that every
+simulated number (figure rows, columns, notes) is byte-identical, and
+reports the wall-clock time of each run plus the speedup relative to
+the serial run.  This is the executable form of the parallel engine's
+contract: ``--workers`` buys wall-clock time only.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_workers.py [--scale tiny]
+        [--workers 1,4] [--experiment fig5] [--expect-speedup 2.0]
+
+``--expect-speedup`` makes the script exit non-zero unless the widest
+run beats serial by the given factor; leave it off on single-core
+machines (thread parallelism cannot beat serial there — the default
+asserts only equality, which must hold everywhere).
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments
+from repro.bench.runners import SCALES, set_workers
+
+
+def run_once(name, scale, workers):
+    """One fresh run of an experiment; returns (result, wall_seconds)."""
+    # The sweep memo must not leak results across worker settings —
+    # a cache hit would trivially (and vacuously) "match".
+    experiments._SWEEP_CACHE.clear()
+    set_workers(workers)
+    started = time.time()
+    result = experiments.EXPERIMENTS[name](scale=scale)
+    return result, time.time() - started
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiment", default="fig5",
+                        choices=sorted(experiments.EXPERIMENTS))
+    parser.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    parser.add_argument("--workers", default="1,4",
+                        help="comma-separated worker counts (first is "
+                             "the baseline; default: 1,4)")
+    parser.add_argument("--expect-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the widest run is at least X "
+                             "times faster than the baseline (needs "
+                             "real cores; off by default)")
+    args = parser.parse_args(argv)
+    counts = [max(1, int(w)) for w in args.workers.split(",")]
+
+    baseline = None
+    walls = {}
+    for workers in counts:
+        result, wall = run_once(args.experiment, args.scale, workers)
+        walls[workers] = wall
+        snapshot = (result.columns, result.rows, result.notes)
+        print("workers=%-3d wall=%6.2fs rows=%d"
+              % (workers, wall, len(result.rows)))
+        if baseline is None:
+            baseline = snapshot
+        elif snapshot != baseline:
+            print("FAIL: workers=%d produced different simulated output"
+                  % workers, file=sys.stderr)
+            return 1
+    set_workers(1)
+    print("simulated output identical across workers=%s"
+          % ",".join(str(c) for c in counts))
+    if len(counts) > 1:
+        speedup = walls[counts[0]] / max(walls[counts[-1]], 1e-9)
+        print("wall speedup (workers=%d vs %d): %.2fx"
+              % (counts[-1], counts[0], speedup))
+        if args.expect_speedup is not None \
+                and speedup < args.expect_speedup:
+            print("FAIL: expected >= %.2fx" % args.expect_speedup,
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

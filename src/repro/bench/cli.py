@@ -16,7 +16,7 @@ import time
 
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.report import render
-from repro.bench.runners import SCALES, profiled_experiment
+from repro.bench.runners import SCALES, profiled_experiment, set_workers
 
 
 def build_parser():
@@ -40,6 +40,11 @@ def build_parser():
                              "trace-event format, load in about:tracing "
                              "or Perfetto) plus DIR/<experiment>"
                              ".metrics.json")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker threads for real execution (wall "
+                             "clock only; simulated output is identical "
+                             "for any value; default: 1). Ignored under "
+                             "--profile, which requires serial tracing.")
     return parser
 
 
@@ -58,6 +63,8 @@ def main(argv=None):
                   file=sys.stderr)
             return 2
         names = [args.experiment]
+    workers = max(1, args.workers)
+    set_workers(1 if args.profile else workers)
     for name in names:
         started = time.time()
         if args.profile:
@@ -66,8 +73,9 @@ def main(argv=None):
         else:
             result = EXPERIMENTS[name](scale=args.scale)
         print(render(result))
-        print("(regenerated in %.1fs wall time at scale=%s)\n"
-              % (time.time() - started, args.scale))
+        print("(regenerated in %.1fs wall time at scale=%s, workers=%d)\n"
+              % (time.time() - started, args.scale,
+                 1 if args.profile else workers))
         if args.csv:
             write_csv(result, args.csv)
         if args.svg:

@@ -20,12 +20,14 @@ can emulate paper-sized datasets with laptop-sized data (see
 :mod:`repro.cluster.profile`).
 """
 
+import threading
 from contextlib import contextmanager
 
 from repro.cluster.clock import SimClock
 from repro.cluster.ledger import Charge, MetricsLedger
 from repro.cluster.profile import ClusterProfile
 from repro.faults import FaultInjector
+from repro.parallel import ByteBudgetLRU, TaskRecorder, WorkerPool
 from repro import obs
 
 
@@ -46,6 +48,20 @@ class Cluster:
         #: profiling collector is active — see repro.obs.profiling).
         self.tracer = obs.Tracer(self)
         self.faults.on_fire = self._record_fault
+        #: thread-local capture stack for the parallel engine: while a
+        #: TaskRecorder is pushed, this thread's charges and metric
+        #: events are buffered instead of applied (see repro.parallel).
+        self._capture = threading.local()
+        self.metrics.bind_capture(self._capture)
+        self._pool = None
+        #: wall-clock caches; contents never change simulated charges
+        #: (hits replay the same charges a miss records).
+        self.orc_cache = ByteBudgetLRU(
+            getattr(self.profile, "orc_cache_bytes", 0),
+            metrics=self.metrics, name="cache.orc")
+        self.delta_cache = ByteBudgetLRU(
+            getattr(self.profile, "delta_cache_bytes", 0),
+            metrics=self.metrics, name="cache.delta")
         obs.register_cluster(self)
 
     def _record_fault(self, fault, context):
@@ -66,6 +82,47 @@ class Cluster:
             self.ledger.pop_scope(scope)
 
     # ------------------------------------------------------------------
+    # Capture/replay (the parallel engine's determinism protocol).
+    # ------------------------------------------------------------------
+    @contextmanager
+    def capture(self, recorder=None):
+        """Buffer this thread's charges/metrics into a TaskRecorder.
+
+        Capture stacks nest per thread; replaying a recorder while an
+        outer capture is active bubbles its contents into the outer
+        recorder (see :mod:`repro.parallel.recorder`).
+        """
+        recorder = recorder or TaskRecorder()
+        stack = getattr(self._capture, "stack", None)
+        if stack is None:
+            stack = self._capture.stack = []
+        stack.append(recorder)
+        try:
+            yield recorder
+        finally:
+            stack.pop()
+
+    def record_charge(self, charge):
+        """Apply one charge: to the active capture, else the ledger."""
+        stack = getattr(self._capture, "stack", None)
+        if stack:
+            stack[-1].add_charge(charge)
+        else:
+            self.ledger.record(charge)
+        return charge
+
+    @property
+    def pool(self):
+        """The cluster's worker pool, sized to ``profile.workers``."""
+        workers = max(1, int(getattr(self.profile, "workers", 1)))
+        pool = self._pool
+        if pool is None or pool.workers != workers:
+            if pool is not None:
+                pool.close()
+            pool = self._pool = WorkerPool(workers)
+        return pool
+
+    # ------------------------------------------------------------------
     # Generic charging.
     # ------------------------------------------------------------------
     def _charge(self, subsystem, op, nbytes=0, nops=0, seconds=None, rate=None,
@@ -79,8 +136,7 @@ class Cluster:
                 seconds += nops * profile.op_scale * per_op_latency
         charge = Charge(subsystem=subsystem, op=op, nbytes=nbytes,
                         nops=nops, seconds=seconds)
-        self.ledger.record(charge)
-        return charge
+        return self.record_charge(charge)
 
     # ------------------------------------------------------------------
     # HDFS sequential streams.

@@ -67,6 +67,15 @@ class ClusterProfile:
     #: the job's median task duration.
     speculative_threshold: float = 3.0
 
+    # Real-parallelism knobs (repro.parallel): how many OS threads
+    # execute task attempts concurrently, plus the byte budgets of the
+    # wall-clock caches.  None of these change any simulated quantity —
+    # results, ledger charges and sim_seconds are byte-identical for
+    # every ``workers`` value and cache state (docs/INTERNALS.md §6).
+    workers: int = 1
+    orc_cache_bytes: int = 64 * MB
+    delta_cache_bytes: int = 16 * MB
+
     # Simulated-scale multipliers (see module docstring).
     byte_scale: float = 1.0
     op_scale: float = 1.0

@@ -83,6 +83,13 @@ class AttachedTable:
             raise RuntimeError("attached btree store not created")
         return self._btree
 
+    def ensure_available(self):
+        """Run any pending WAL recovery now (and charge it), so later
+        reads — possibly on pool workers, or under cache capture — see a
+        recovered store without racing on the replay."""
+        if self.backend == "hbase":
+            self._service.ensure_available()
+
     def rates(self, profile):
         """Device rates of this backend, for the cost evaluator."""
         from repro.core.cost_model import AttachedRates
@@ -97,26 +104,67 @@ class AttachedTable:
                              page_bytes=store.page_bytes,
                              page_locality=store.page_locality)
 
+    def _delta_cache(self):
+        return getattr(self._service.cluster, "delta_cache", None)
+
+    def _invalidate_cache(self):
+        cache = self._delta_cache()
+        if cache is not None:
+            cache.invalidate_group(self.name)
+
     # ------------------------------------------------------------------
     # Writes (the EDIT plan's UDTF calls).
     # ------------------------------------------------------------------
     def put_update(self, record_id, new_values):
         """Store new field values: ``{column_index: python_value}``."""
+        self._invalidate_cache()
         payload = {update_qualifier(idx): encode_value(val)
                    for idx, val in new_values.items()}
         self._htable().put(record_id, payload)
 
     def put_delete(self, record_id):
         """Store a DELETE marker for one record."""
+        self._invalidate_cache()
         self._htable().put(record_id, {DELETE_MARKER: b"1"})
 
     # ------------------------------------------------------------------
     # Reads (the UNION READ merge input).
     # ------------------------------------------------------------------
     def scan_file(self, file_id):
-        """Yield ``(record_id, DeltaRecord)`` for one master file, sorted."""
+        """Yield ``(record_id, DeltaRecord)`` for one master file, sorted.
+
+        The per-file result is memoized in the cluster's delta-range
+        cache together with the charges the materializing scan recorded;
+        a hit replays those charges verbatim, so simulated time is
+        byte-identical either way.  Every mutation path — ``put_update``,
+        ``put_delete``, ``clear`` (EDIT commit, COMPACT, INSERT
+        OVERWRITE, WAL-recovery replay) and a region-server crash —
+        drops the table's entries, so a hit always reflects current
+        content.  Cached DeltaRecords are shared: callers must not
+        mutate them.
+        """
         start, stop = file_key_range(file_id)
-        return self.scan_range(start, stop)
+        cache = self._delta_cache()
+        cluster = self._service.cluster
+        if cache is None or cache.budget_bytes <= 0:
+            return self.scan_range(start, stop)
+        key = (self.name, self.backend, file_id)
+        cached = cache.get(key)
+        if cached is not None:
+            items, recorder = cached
+            recorder.replay(cluster)
+            return iter(items)
+        # Trigger any pending WAL recovery *before* capturing, so the
+        # replay charge applies once globally instead of being stored in
+        # (and re-charged from) the cache entry.
+        self.ensure_available()
+        with cluster.capture() as recorder:
+            items = list(self.scan_range(start, stop))
+        recorder.replay(cluster)
+        nbytes = sum(len(record_id) + 24 + 40 * len(delta.updates)
+                     for record_id, delta in items) + 64
+        cache.put(key, (items, recorder), nbytes=nbytes)
+        return iter(items)
 
     def scan_range(self, start=None, stop=None):
         for record_id, cells in self._htable().scan(start, stop):
@@ -171,4 +219,5 @@ class AttachedTable:
         return self._htable().count_rows()
 
     def clear(self):
+        self._invalidate_cache()
         self._htable().truncate()

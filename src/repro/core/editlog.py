@@ -31,6 +31,7 @@ Injection points: ``dualtable.dml.stage`` (before the staging write) and
 import hashlib
 import pickle
 import struct
+import threading
 
 from repro.common.errors import FaultInjectedError
 
@@ -98,7 +99,9 @@ class EditBatch:
     def __init__(self, handler, txn_id):
         self.handler = handler
         self.txn_id = txn_id
-        self.edits = []
+        self._lock = threading.Lock()
+        self._by_task = {}      # task_index -> [edits]
+        self._loose = []        # absorbed without an index (arrival order)
 
     @property
     def staging_path(self):
@@ -107,9 +110,28 @@ class EditBatch:
     def task_buffer(self):
         return TaskEditBuffer()
 
-    def absorb(self, buffer):
-        """Adopt a *successful* task attempt's buffered edits."""
-        self.edits.extend(buffer.edits)
+    def absorb(self, buffer, task_index=None):
+        """Adopt a *successful* task attempt's buffered edits.
+
+        Keyed by ``task_index`` so the statement's edit order is the
+        task order regardless of how attempts interleave on the worker
+        pool — and so a serial rerun after an abandoned parallel attempt
+        *overwrites* rather than duplicates a task's edits.
+        """
+        edits = list(buffer.edits)
+        with self._lock:
+            if task_index is None:
+                self._loose.extend(edits)
+            else:
+                self._by_task[task_index] = edits
+
+    @property
+    def edits(self):
+        """All absorbed edits, flattened in task-index order."""
+        with self._lock:
+            ordered = [edit for index in sorted(self._by_task)
+                       for edit in self._by_task[index]]
+            return ordered + list(self._loose)
 
     # ------------------------------------------------------------------
     def commit(self, session):
@@ -120,13 +142,14 @@ class EditBatch:
         fatal kills propagate and leave recovery to
         :func:`recover_edit_logs`.
         """
-        if not self.edits:
+        edits = self.edits
+        if not edits:
             return 0.0
         handler = self.handler
         fs = handler.env.fs
         faults = handler.env.cluster.faults
         path = self.staging_path
-        payload = encode_edits(self.edits)
+        payload = encode_edits(edits)
 
         def stage():
             faults.hit("dualtable.dml.stage", path=path)
@@ -136,7 +159,7 @@ class EditBatch:
 
         def publish():
             faults.hit("dualtable.dml.publish", path=path)
-            apply_edits(handler.attached, self.edits)
+            apply_edits(handler.attached, edits)
             if fs.exists(path):
                 fs.delete(path)
 

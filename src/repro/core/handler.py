@@ -32,6 +32,7 @@ from repro.core.metadata import DualTableMetadata
 from repro.core.record_id import RECORD_ID_BYTES
 from repro.core.udtf import delete_udtf, update_udtf
 from repro.core.union_read import union_read_file
+from repro.parallel import parallel_map
 
 #: per-assignment Attached-Table payload estimate: 3-byte qualifier +
 #: ~10-byte encoded value + cell overhead.
@@ -155,11 +156,25 @@ class DualTableHandler(StorageHandler):
                 # the manifest), but never discard the only master copy.
                 fs.rename(self._compact_old, self.master.location)
             rolled_back = True
+        if rolled_back:
+            self._invalidate_master_cache()
         return "rolled_back" if rolled_back else "clean"
 
     # ------------------------------------------------------------------
     # Writes.
     # ------------------------------------------------------------------
+    def _invalidate_master_cache(self):
+        """Drop cached ORC footers/stripes under the master directory.
+
+        The ORC cache key is content-exact (length + CRC of the file
+        bytes), so stale *hits* are impossible even without this — the
+        hook exists to release entries for replaced files immediately
+        instead of waiting for LRU pressure.
+        """
+        cache = getattr(self.env.cluster, "orc_cache", None)
+        if cache is not None:
+            cache.invalidate_group(self.master.location)
+
     def insert_rows(self, rows, overwrite=False):
         self._check_not_compacting()
         self._ensure_recovered()
@@ -167,6 +182,7 @@ class DualTableHandler(StorageHandler):
         if overwrite:
             self.master.replace_with(rows)
             self.attached.clear()
+            self._invalidate_master_cache()
         else:
             self.master.write_rows(rows)
         return len(rows)
@@ -177,20 +193,26 @@ class DualTableHandler(StorageHandler):
     def scan_splits(self, projection=None, ranges=None):
         self._check_not_compacting()
         self._ensure_recovered()
-        splits = []
-        for path in self.master.file_paths():
+        # Recover the Attached store up front: the per-file fan-out below
+        # may run on pool workers, and a WAL replay must happen (and be
+        # charged) exactly once, before any of them look at key ranges.
+        self.attached.ensure_available()
+        projection_list = list(projection) if projection else None
+
+        def split_for(path):
             reader = self.master.reader(path)
             file_id = int(reader.metadata["dualtable.file_id"])
             prune_safe = not self.attached.has_entries_in_file(file_id)
-            splits.append(InputSplit(
+            return InputSplit(
                 payload={"path": path, "file_id": file_id,
-                         "projection": list(projection) if projection else None,
+                         "projection": projection_list,
                          "ranges": (ranges or {}) if prune_safe else {},
                          "prune_safe": prune_safe},
-                size_bytes=reader.projected_bytes(
-                    list(projection) if projection else None),
-                label=path))
-        return splits
+                size_bytes=reader.projected_bytes(projection_list),
+                label=path)
+
+        return parallel_map(self.env.cluster, split_for,
+                            self.master.file_paths())
 
     def read_split(self, split, ctx):
         for _, values in self.read_split_with_rids(split, ctx):
@@ -231,6 +253,12 @@ class DualTableHandler(StorageHandler):
                              stats["deltas_applied"])
             if stats.get("rows_deleted"):
                 metrics.incr("unionread.rows_deleted", stats["rows_deleted"])
+            if stats.get("deltas_skipped"):
+                metrics.incr("unionread.deltas_skipped",
+                             stats["deltas_skipped"])
+            if stats.get("trailing_deltas"):
+                metrics.incr("unionread.trailing_deltas",
+                             stats["trailing_deltas"])
 
     def _projection_map(self, projection):
         schema = self.schema
@@ -466,7 +494,7 @@ class DualTableHandler(StorageHandler):
                 if predicate is None or is_true(predicate(values)):
                     new_values = {idx: fn(values) for idx, fn in assigns}
                     update_udtf(buffer, record_id, new_values, ctx)
-            batch.absorb(buffer)
+            batch.absorb(buffer, ctx.task_index)
             return ()
 
         job = Job(name="update-edit", splits=splits, map_fn=map_fn,
@@ -502,7 +530,7 @@ class DualTableHandler(StorageHandler):
             for record_id, values in self.read_split_with_rids(split, ctx):
                 if predicate is None or is_true(predicate(values)):
                     delete_udtf(buffer, record_id, ctx)
-            batch.absorb(buffer)
+            batch.absorb(buffer, ctx.task_index)
             return ()
 
         job = Job(name="delete-edit", splits=splits, map_fn=map_fn,
@@ -619,6 +647,7 @@ class DualTableHandler(StorageHandler):
                 fs.rename(location, self._compact_old)
             hit("dualtable.compact.swap2")
             fs.rename(self._compact_tmp, location)
+        self._invalidate_master_cache()
         hit("dualtable.compact.truncate")
         self.attached.clear()
         if fs.exists(self._compact_old):

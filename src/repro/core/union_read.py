@@ -20,19 +20,32 @@ def union_read_file(file_id, orc_rows, delta_items, projection_map,
     ``projection_map``  — ``{schema_column_index: projected_position}`` so
                           update cells can be applied onto projected tuples.
     ``stats``           — optional dict; on exhaustion holds the merge
-                          counters ``deltas_applied`` and ``rows_deleted``
+                          counters ``deltas_applied``, ``rows_deleted``,
+                          ``deltas_skipped`` and ``trailing_deltas``
                           (observability hooks, no cost impact).
 
     Yields ``(record_id, merged_values_tuple)`` with deleted rows skipped.
+
+    Deltas whose record id never matches a master row cannot affect the
+    output (UNION READ is master-driven), but silently dropping them
+    hides real anomalies — an attached entry for a row COMPACT already
+    folded away, or a file that shrank underneath its deltas.  They are
+    therefore counted: ``deltas_skipped`` for ids passed over inside the
+    master range, ``trailing_deltas`` for ids beyond the last master row
+    (the iterator is drained so the count — and the backing scan's
+    charges — are complete).
     """
     applied = 0
     deleted = 0
+    skipped = 0
+    trailing = 0
     delta_iter = iter(delta_items)
     current = next(delta_iter, None)
     try:
         for row_number, values in orc_rows:
             record_id = encode_record_id(file_id, row_number)
             while current is not None and current[0] < record_id:
+                skipped += 1
                 current = next(delta_iter, None)
             if current is not None and current[0] == record_id:
                 delta = current[1]
@@ -50,10 +63,15 @@ def union_read_file(file_id, orc_rows, delta_items, projection_map,
                     yield record_id, tuple(merged)
                     continue
             yield record_id, values
+        while current is not None:
+            trailing += 1
+            current = next(delta_iter, None)
     finally:
         if stats is not None:
             stats["deltas_applied"] = applied
             stats["rows_deleted"] = deleted
+            stats["deltas_skipped"] = skipped
+            stats["trailing_deltas"] = trailing
 
 
 def apply_delta_to_row(values, delta, projection_map):

@@ -150,6 +150,16 @@ class FaultInjector:
     def active(self):
         return self._plan is not None and not self._paused
 
+    @property
+    def armed(self):
+        """A plan is installed (paused or not).
+
+        Hit counters advance in global serial order, so the parallel
+        engine stays off whenever a plan exists — even paused, since a
+        resume mid-workload must observe the same counts as serial.
+        """
+        return self._plan is not None
+
     def bind(self, kind, action):
         """Register the side-effect callable for an action kind."""
         self._actions[kind] = action

@@ -127,6 +127,11 @@ class HTable:
 
     def compact(self, major=False):
         before = self.store_bytes
+        # Compaction drops shadowed versions, shrinking the raw bytes a
+        # scan charges — cached delta ranges must re-materialize.
+        delta_cache = getattr(self._cluster, "delta_cache", None)
+        if delta_cache is not None:
+            delta_cache.invalidate_group(self.name)
         for region in self.regions:
             region.compact(major=major)
         # Compaction rewrites store files: charge read+write of the data.
@@ -198,6 +203,12 @@ class HBaseService:
             for region in table.regions:
                 lost += region.crash()
         self._crashed = True
+        # Cached delta ranges embed charges recorded against pre-crash
+        # region state; WAL recovery (and its replay charge) must be
+        # observed by the next scan, so the cache cannot survive.
+        delta_cache = getattr(self.cluster, "delta_cache", None)
+        if delta_cache is not None:
+            delta_cache.clear()
         self.cluster.metrics.incr("hbase.region_crashes")
         return lost
 

@@ -415,7 +415,6 @@ class SelectExecutor:
         left_reader, right_reader = left.make_reader(), right.make_reader()
         left_width, right_width = left_env.width, right_env.width
         kind = join.kind
-        null_counter = iter(range(1 << 60))
 
         splits = ([InputSplit(payload=("L", s), size_bytes=s.size_bytes,
                               label="L:" + s.label) for s in left.splits()]
@@ -424,14 +423,20 @@ class SelectExecutor:
                      for s in right.splits()])
 
         def map_fn(split, ctx):
+            # NULL-key sentinels are unique per row so null keys never
+            # group; keyed by (task_index, local_i) — not a shared
+            # counter — so key assignment is identical however map tasks
+            # interleave on the worker pool.
             side, inner = split.payload
+            local_i = 0
             if side == "L":
                 for values in left_reader(inner, ctx):
                     key = tuple(k(values) for k in left_keys)
                     if any(k is None for k in key):
                         if kind in ("left", "full"):
-                            yield (("\x00null", next(null_counter)),
+                            yield (("\x00null", ctx.task_index, local_i),
                                    ("L", values))
+                            local_i += 1
                         continue
                     yield key, ("L", values)
             else:
@@ -439,8 +444,9 @@ class SelectExecutor:
                     key = tuple(k(values) for k in right_keys)
                     if any(k is None for k in key):
                         if kind in ("right", "full"):
-                            yield (("\x00null", next(null_counter)),
+                            yield (("\x00null", ctx.task_index, local_i),
                                    ("R", values))
+                            local_i += 1
                         continue
                     yield key, ("R", values)
 

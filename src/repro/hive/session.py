@@ -507,8 +507,10 @@ class HiveSession:
                 handler.update_row(rowkey, new_values)
             return ()
 
+        # In-place writes: HBase timestamp allocation must follow split
+        # order, so this job never runs on the worker pool.
         job = Job(name="update-hbase", splits=splits, map_fn=map_fn,
-                  reduce_fn=None)
+                  reduce_fn=None, properties={"parallel": False})
         result = self.runner.run(job)
         jobs = self._dml_subquery_jobs + [result]
         sub_seconds = sum(j.sim_seconds for j in self._dml_subquery_jobs)
@@ -536,7 +538,7 @@ class HiveSession:
             return ()
 
         job = Job(name="delete-hbase", splits=splits, map_fn=map_fn,
-                  reduce_fn=None)
+                  reduce_fn=None, properties={"parallel": False})
         result = self.runner.run(job)
         jobs = self._dml_subquery_jobs + [result]
         sub_seconds = sum(j.sim_seconds for j in self._dml_subquery_jobs)

@@ -21,6 +21,20 @@ Fault tolerance mirrors Hadoop's task layer:
 
 Injection points: ``mapreduce.map`` / ``mapreduce.reduce`` fire at the
 start of every task attempt.
+
+Parallel execution (``profile.workers > 1``): task attempts run
+concurrently on the cluster's worker pool, each charging into a private
+:class:`~repro.parallel.TaskRecorder`; the coordinator then replays the
+recorders **in task order** inside per-task cost scopes, so results,
+ledger charges and ``sim_seconds`` are byte-identical to the serial
+path (docs/INTERNALS.md §6).  The pool is bypassed whenever semantics
+are defined by global serial order: an active fault plan (faults fire on
+global hit counts), an enabled tracer (span nesting), jobs marked
+``properties={"parallel": False}`` (map functions that mutate shared
+state in place, e.g. the HBase baselines), or any worker-thread failure
+(the serial retry machinery then reruns the job from scratch — captured
+charges from the abandoned parallel attempt are discarded, never
+applied).
 """
 
 import heapq
@@ -29,6 +43,7 @@ from collections import defaultdict
 from repro.common.errors import FaultInjectedError, TaskFailedError
 from repro.mapreduce.job import (JobResult, TaskContext,
                                  estimate_record_bytes, stable_hash)
+from repro.parallel import in_worker
 
 
 def _makespan(durations, slots):
@@ -181,6 +196,68 @@ class JobRunner:
             return output, base, penalty, ctx
         raise AssertionError("unreachable: final attempt raises")
 
+    # ------------------------------------------------------------------
+    # Task dispatch: parallel capture/replay, or the serial retry loop.
+    # ------------------------------------------------------------------
+    def _execute_tasks(self, job, task_type, specs, counters):
+        """Run ``(index, attempt_fn, describe)`` specs to completion.
+
+        Returns ``[(output, base, penalty, ctx), ...]`` in spec order.
+        """
+        results = self._try_parallel(job, task_type, specs)
+        if results is None:
+            results = [
+                self._run_attempts(job, task_type, index, attempt_fn,
+                                   counters, describe)
+                for index, attempt_fn, describe in specs]
+        return results
+
+    def _try_parallel(self, job, task_type, specs):
+        """Run all specs concurrently; None means "use the serial path".
+
+        Workers execute the attempt functions under per-task capture; the
+        coordinator then replays each task's recorder in task order inside
+        the same span/scope structure the serial path builds, so ledger
+        contents, scope attribution and task durations are byte-identical.
+        If any worker raised, every recorder is discarded unapplied and
+        the caller reruns serially — the retry machinery then observes the
+        exact charge sequence it would have seen without a pool.
+        """
+        cluster = self.cluster
+        pool = cluster.pool
+        if (len(specs) <= 1 or not pool.parallel or in_worker()
+                or not job.properties.get("parallel", True)
+                or cluster.faults.armed or cluster.tracer.enabled):
+            return None
+
+        def make_thunk(index, attempt_fn):
+            def thunk():
+                ctx = TaskContext(cluster, task_type, index)
+                with cluster.capture() as recorder:
+                    output = attempt_fn(ctx)
+                return output, recorder, ctx
+            return thunk
+
+        outcomes = pool.map([make_thunk(index, attempt_fn)
+                             for index, attempt_fn, _ in specs])
+        if any(outcome.error is not None for outcome in outcomes):
+            return None
+        profile = cluster.profile
+        results = []
+        for (index, _, _), outcome in zip(specs, outcomes):
+            output, recorder, ctx = outcome.value
+            scope_label = "%s-%d.%d" % (task_type, index, 1)
+            with cluster.tracer.span(
+                    "task", scope_label, job=job.name, task_type=task_type,
+                    task=index, attempt=1) as span:
+                with cluster.cost_scope(scope_label) as scope:
+                    recorder.replay(cluster)
+                base = scope.parallel_seconds + profile.task_overhead_s
+                span.annotate(outcome="ok", base_seconds=round(base, 6),
+                              penalty_seconds=0.0)
+            results.append((output, base, 0.0, ctx))
+        return results
+
     def _finish_durations(self, entries, counters):
         """(base, penalty) pairs -> per-task durations, with speculation.
 
@@ -208,8 +285,7 @@ class JobRunner:
 
     # ------------------------------------------------------------------
     def _run_maps(self, job, counters):
-        entries = []
-        outputs = []
+        specs = []
         for index, split in enumerate(job.splits):
             def attempt_fn(ctx, split=split):
                 records = list(job.map_fn(split, ctx))
@@ -222,8 +298,12 @@ class JobRunner:
                 return ("map task %d of %s failed: %s"
                         % (index, job.name, exc))
 
-            records, base, penalty, ctx = self._run_attempts(
-                job, "map", index, attempt_fn, counters, describe)
+            specs.append((index, attempt_fn, describe))
+        entries = []
+        outputs = []
+        results = self._execute_tasks(job, "map", specs, counters)
+        for (index, _, _), (records, base, penalty, ctx) in zip(specs,
+                                                                results):
             entries.append((base, penalty))
             outputs.append((index, records))
             for key, val in ctx.counters.items():
@@ -254,8 +334,7 @@ class JobRunner:
         self.cluster.charge_cpu_rows(shuffle_records)  # sort cost
         shuffle_seconds = charge.seconds
 
-        entries = []
-        outputs = []
+        specs = []
         for index, partition in enumerate(partitions):
             if not partition and num_reducers > 1:
                 continue
@@ -273,8 +352,11 @@ class JobRunner:
                 return ("reduce task %d of %s failed at key %r: %s"
                         % (index, job.name, failing.get("key"), exc))
 
-            task_out, base, penalty, ctx = self._run_attempts(
-                job, "reduce", index, attempt_fn, counters, describe)
+            specs.append((index, attempt_fn, describe))
+        entries = []
+        outputs = []
+        for task_out, base, penalty, ctx in self._execute_tasks(
+                job, "reduce", specs, counters):
             entries.append((base, penalty))
             outputs.extend(task_out)
             for key, val in ctx.counters.items():

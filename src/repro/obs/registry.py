@@ -63,21 +63,67 @@ class MetricsRegistry:
         self.counters = defaultdict(int)
         self.gauges = {}
         self.histograms = {}
+        #: optional thread-local capture stack shared with the owning
+        #: cluster (repro.parallel): while a recorder is pushed on the
+        #: calling thread, events are buffered instead of applied so a
+        #: parallel task's metrics can be replayed in task order.
+        self._capture_tls = None
+
+    def bind_capture(self, tls):
+        """Share the cluster's thread-local capture stack."""
+        self._capture_tls = tls
+
+    def _capture_buffer(self):
+        tls = self._capture_tls
+        if tls is None:
+            return None
+        stack = getattr(tls, "stack", None)
+        return stack[-1] if stack else None
 
     # ------------------------------------------------------------------
     # Recording.
     # ------------------------------------------------------------------
     def incr(self, name, amount=1):
+        buffer = self._capture_buffer()
+        if buffer is not None:
+            buffer.add_event("incr", name, amount)
+            return
         self.counters[name] += amount
 
     def gauge(self, name, value):
+        buffer = self._capture_buffer()
+        if buffer is not None:
+            buffer.add_event("gauge", name, value)
+            return
         self.gauges[name] = value
 
     def observe(self, name, value):
+        buffer = self._capture_buffer()
+        if buffer is not None:
+            buffer.add_event("observe", name, value)
+            return
         hist = self.histograms.get(name)
         if hist is None:
             hist = self.histograms[name] = Histogram()
         hist.observe(value)
+
+    def replay(self, events):
+        """Apply captured ``(kind, name, value)`` events in order.
+
+        Respects any capture active on the *calling* thread, so nested
+        replays bubble out one level at a time (see repro.parallel).
+        """
+        buffer = self._capture_buffer()
+        if buffer is not None:
+            buffer.events.extend(events)
+            return
+        for kind, name, value in events:
+            if kind == "incr":
+                self.counters[name] += value
+            elif kind == "observe":
+                self.observe(name, value)
+            else:
+                self.gauges[name] = value
 
     # ------------------------------------------------------------------
     # Reading.

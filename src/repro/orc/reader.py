@@ -9,10 +9,21 @@ The reader exposes the three ORC properties DualTable relies on:
 * **row numbers** — every row comes back with its ordinal position in the
   file, which costs nothing to store and is the second half of the
   DualTable record ID.
+
+When the backing filesystem belongs to a cluster with an
+``orc_cache`` (see :mod:`repro.parallel.cache`), parsed footers and
+decoded stripe columns are memoized under a content-derived key
+``(path, file_len, crc32(bytes))``.  A hit skips the *real* CPU work
+(JSON parse, stream decode) but charges exactly the bytes a miss
+charges, so simulated time never depends on cache state; the
+content-exact key means a rewritten or corrupted file can never
+produce a stale hit (strict invalidation hooks in the handler are
+belt-and-braces on top).
 """
 
 import json
 import struct
+import zlib
 
 from repro.common.errors import CorruptOrcFileError
 from repro.orc.encodings import DECODERS
@@ -49,10 +60,18 @@ class OrcReader:
             self._fs = source
             self._path = path
             self._data = source.read_file_silent(path)
+            self._cache = getattr(source.cluster, "orc_cache", None)
         else:
             self._fs = None
             self._path = None
             self._data = source
+            self._cache = None
+        if self._cache is not None and self._cache.budget_bytes > 0:
+            self._cache_key = (self._path, len(self._data),
+                               zlib.crc32(self._data))
+        else:
+            self._cache = None
+            self._cache_key = None
         self._parse_footer()
 
     def _parse_footer(self):
@@ -64,6 +83,17 @@ class OrcReader:
         footer_start = len(data) - tail - footer_len
         if footer_start < 0:
             raise CorruptOrcFileError("footer overruns file")
+        self._footer_bytes = footer_len + tail
+        key = self._cache_key + ("footer",) if self._cache_key else None
+        cached = self._cache.get(key) if key is not None else None
+        if cached is not None:
+            # The parsed footer is immutable after construction, so the
+            # cached objects are shared; the charge is identical to the
+            # miss path's (same bytes, same rates).
+            (self.schema, self.num_rows, self.metadata, self.column_stats,
+             self._column_index, self.stripes) = cached
+            self._charge(self._footer_bytes)
+            return
         try:
             footer = json.loads(data[footer_start:footer_start + footer_len])
         except ValueError as exc:
@@ -79,8 +109,13 @@ class OrcReader:
             stripe = StripeInfo(i, raw, first_row)
             first_row += stripe.num_rows
             self.stripes.append(stripe)
-        self._footer_bytes = footer_len + tail
         self._charge(self._footer_bytes)
+        if key is not None:
+            self._cache.put(
+                key,
+                (self.schema, self.num_rows, self.metadata,
+                 self.column_stats, self._column_index, self.stripes),
+                nbytes=self._footer_bytes)
 
     def _charge(self, nbytes):
         if self._fs is not None and nbytes:
@@ -126,10 +161,17 @@ class OrcReader:
         for idx in indices:
             meta = stripe.columns[idx]
             start, length = meta["offset"], meta["length"]
-            stream = self._data[start:start + length]
             self._charge(length)
-            kind = self.schema[idx][1]
-            out.append(DECODERS[kind](stream))
+            key = (self._cache_key + ("stripe", stripe.index, idx)
+                   if self._cache_key else None)
+            column = self._cache.get(key) if key is not None else None
+            if column is None:
+                stream = self._data[start:start + length]
+                kind = self.schema[idx][1]
+                column = DECODERS[kind](stream)
+                if key is not None:
+                    self._cache.put(key, column, nbytes=length)
+            out.append(column)
         return out
 
     # ------------------------------------------------------------------

@@ -1,0 +1,98 @@
+"""Thread-backed worker pool with ordered results and inline fallback.
+
+The pool never re-orders anything observable: ``map`` returns outcomes
+in submission order and callers replay each task's captured charges in
+that order (see :mod:`repro.parallel.recorder`).  Worker threads are
+tagged so nested fan-out from inside a task runs inline instead of
+deadlocking on pool slots.
+
+Exceptions are *outcomes*, not crashes: a failed thunk yields a
+:class:`TaskOutcome` carrying the error, and the caller decides whether
+to fall back to the serial path (the MapReduce runner does, so the
+retry/fault machinery stays byte-identical to serial execution).
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_WORKER_TLS = threading.local()
+
+
+def in_worker():
+    """True when the calling thread is a pool worker thread."""
+    return getattr(_WORKER_TLS, "active", False)
+
+
+class TaskOutcome:
+    """Value-or-error result of one pooled thunk."""
+
+    __slots__ = ("value", "error")
+
+    def __init__(self, value=None, error=None):
+        self.value = value
+        self.error = error
+
+    @classmethod
+    def run(cls, thunk):
+        try:
+            return cls(value=thunk())
+        except BaseException as exc:            # noqa: BLE001 — reported
+            return cls(error=exc)
+
+    def unwrap(self):
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+def _run_in_worker(thunk):
+    _WORKER_TLS.active = True
+    try:
+        return TaskOutcome.run(thunk)
+    finally:
+        _WORKER_TLS.active = False
+
+
+class WorkerPool:
+    """A fixed-width thread pool; ``workers=1`` degrades to inline."""
+
+    def __init__(self, workers=1):
+        self.workers = max(1, int(workers))
+        self._executor = None
+        self._lock = threading.Lock()
+
+    @property
+    def parallel(self):
+        return self.workers > 1
+
+    def _ensure_executor(self):
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-pool")
+            return self._executor
+
+    def map(self, thunks):
+        """Run every thunk; return :class:`TaskOutcome`s in input order.
+
+        Runs inline (same thread, same order) when the pool is serial,
+        there is at most one thunk, or the caller is itself a pool
+        worker — nested fan-out must not wait on the pool's own slots.
+        """
+        thunks = list(thunks)
+        if not self.parallel or len(thunks) <= 1 or in_worker():
+            return [TaskOutcome.run(thunk) for thunk in thunks]
+        executor = self._ensure_executor()
+        futures = [executor.submit(_run_in_worker, thunk)
+                   for thunk in thunks]
+        return [future.result() for future in futures]
+
+    def close(self):
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __repr__(self):
+        return "WorkerPool(workers=%d)" % self.workers

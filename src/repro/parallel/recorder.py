@@ -1,0 +1,57 @@
+"""Per-task capture of ledger charges and metric events.
+
+The capture/replay protocol is what makes parallel execution
+deterministic: a worker thread never touches the global ledger or the
+metrics registry directly.  Instead, :meth:`repro.cluster.Cluster.capture`
+pushes a :class:`TaskRecorder` onto a *thread-local* stack; every charge
+and metric event the thread produces while the recorder is active is
+appended to it.  The coordinator then calls :meth:`TaskRecorder.replay`
+for each task **in task order**, which issues exactly the sequence of
+``ledger.record`` / ``metrics.incr`` calls the serial path would have
+issued — same floats, same order, same scope attribution.
+
+Recorders nest: replaying while an outer recorder is active (a cache
+miss inside a pool worker, say) appends to the outer recorder instead of
+the global ledger, so charges bubble out one level at a time and are
+still applied globally in deterministic order.
+"""
+
+
+class TaskRecorder:
+    """Captured side effects of one task attempt (or cache fill)."""
+
+    __slots__ = ("charges", "events")
+
+    def __init__(self):
+        #: :class:`repro.cluster.ledger.Charge` objects, in charge order.
+        self.charges = []
+        #: ``("incr"|"observe"|"gauge", name, value)`` metric events.
+        self.events = []
+
+    def add_charge(self, charge):
+        self.charges.append(charge)
+
+    def add_event(self, kind, name, value):
+        self.events.append((kind, name, value))
+
+    def extend(self, other):
+        """Adopt another recorder's captures (ordered concatenation)."""
+        self.charges.extend(other.charges)
+        self.events.extend(other.events)
+
+    def replay(self, cluster):
+        """Apply the captured charges and events to ``cluster``.
+
+        Routed through :meth:`Cluster.record_charge` and
+        :meth:`MetricsRegistry.replay`, both of which respect any capture
+        active on the *calling* thread — so nested replays compose.
+        """
+        record = cluster.record_charge
+        for charge in self.charges:
+            record(charge)
+        if self.events:
+            cluster.metrics.replay(self.events)
+
+    def __repr__(self):
+        return ("TaskRecorder(charges=%d, events=%d)"
+                % (len(self.charges), len(self.events)))

@@ -1,0 +1,206 @@
+"""Strict cache invalidation: a cached read is never stale.
+
+The ORC footer/stripe cache and the Attached-Table delta-range cache
+trade wall-clock time only; every mutation of the backing store must
+drop the affected entries.  Each test warms the caches with a read,
+mutates through a different path (EDIT commit, COMPACT, INSERT
+OVERWRITE, region-server crash mid-statement), reads again, and checks
+the answer against ``fresh_rows`` — the same query re-run with every
+cache forcibly emptied.  Cached == fresh is the staleness oracle.
+"""
+
+import pytest
+
+from repro.cluster import ClusterProfile
+from repro.common.errors import ReproError
+from repro.core import encode_record_id
+from repro.faults import Fault, FaultPlan
+from repro.hive import HiveSession
+
+ROWS = [(i, i * 10) for i in range(40)]
+
+
+def build_session(workers=1, mode="edit", rows=ROWS, rows_per_file=10):
+    session = HiveSession(profile=ClusterProfile.laptop(workers=workers))
+    session.execute(
+        "CREATE TABLE t (k int, v int) STORED AS dualtable "
+        "TBLPROPERTIES ('orc.rows_per_file' = '%d', "
+        "'dualtable.mode' = '%s')" % (rows_per_file, mode))
+    session.load_rows("t", rows)
+    return session
+
+
+def select_all(session):
+    return session.execute("SELECT k, v FROM t ORDER BY k").rows
+
+
+def fresh_rows(session):
+    """The same read with every cache dropped — the staleness oracle."""
+    session.cluster.orc_cache.clear()
+    session.cluster.delta_cache.clear()
+    return select_all(session)
+
+
+class TestCacheWarming:
+    def test_repeated_select_hits_both_caches(self):
+        session = build_session()
+        first = select_all(session)
+        counters = session.cluster.metrics.counters
+        orc_hits = counters.get("cache.orc.hits", 0)
+        delta_hits = counters.get("cache.delta.hits", 0)
+        second = select_all(session)
+        assert second == first
+        assert counters["cache.orc.hits"] > orc_hits
+        assert counters["cache.delta.hits"] > delta_hits
+
+    def test_cache_hits_do_not_change_simulated_seconds(self):
+        session = build_session()
+        cold = session.execute("SELECT k, v FROM t ORDER BY k")
+        warm = session.execute("SELECT k, v FROM t ORDER BY k")
+        assert warm.sim_seconds == cold.sim_seconds
+
+    def test_zero_budget_disables_caching(self):
+        session = HiveSession(profile=ClusterProfile.laptop(
+            orc_cache_bytes=0, delta_cache_bytes=0))
+        session.execute("CREATE TABLE t (k int, v int) STORED AS "
+                        "dualtable TBLPROPERTIES "
+                        "('orc.rows_per_file' = '10')")
+        session.load_rows("t", ROWS)
+        first = select_all(session)
+        assert select_all(session) == first
+        counters = session.cluster.metrics.counters
+        assert counters.get("cache.orc.hits", 0) == 0
+        assert counters.get("cache.delta.hits", 0) == 0
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+class TestInvalidationPaths:
+    def test_read_after_edit_commit(self, workers):
+        session = build_session(workers=workers)
+        select_all(session)                       # warm
+        session.execute("UPDATE t SET v = 7 WHERE k < 15")
+        expect = sorted((k, 7 if k < 15 else v) for k, v in ROWS)
+        assert select_all(session) == expect
+        assert fresh_rows(session) == expect
+        counters = session.cluster.metrics.counters
+        assert counters["cache.delta.invalidations"] > 0
+
+    def test_read_after_delete_commit(self, workers):
+        session = build_session(workers=workers)
+        select_all(session)
+        session.execute("DELETE FROM t WHERE k >= 30")
+        expect = sorted((k, v) for k, v in ROWS if k < 30)
+        assert select_all(session) == expect
+        assert fresh_rows(session) == expect
+
+    def test_read_after_compact(self, workers):
+        session = build_session(workers=workers)
+        session.execute("UPDATE t SET v = 1 WHERE k < 20")
+        select_all(session)                       # warm on deltas
+        session.execute("COMPACT TABLE t")
+        handler = session.table("t").handler
+        assert handler.attached.is_empty()
+        expect = sorted((k, 1 if k < 20 else v) for k, v in ROWS)
+        assert select_all(session) == expect
+        assert fresh_rows(session) == expect
+
+    def test_read_after_insert_overwrite(self, workers):
+        session = build_session(workers=workers)
+        select_all(session)                       # warm on the old files
+        session.execute("INSERT OVERWRITE TABLE t "
+                        "VALUES (1, 100), (2, 200)")
+        assert select_all(session) == [(1, 100), (2, 200)]
+        assert fresh_rows(session) == [(1, 100), (2, 200)]
+
+    def test_read_after_insert_append(self, workers):
+        session = build_session(workers=workers)
+        select_all(session)
+        session.execute("INSERT INTO t VALUES (900, 9000)")
+        expect = sorted(ROWS + [(900, 9000)])
+        assert select_all(session) == expect
+        assert fresh_rows(session) == expect
+
+
+class TestMidStatementInvalidation:
+    def test_region_crash_mid_update_never_leaves_stale_entries(self):
+        """A region-server crash fired from inside an UPDATE's commit
+        wipes the delta cache (cached recorders embed pre-crash
+        charges); after recovery the cached read equals the uncached
+        one, whichever way the statement resolved."""
+        session = build_session()
+        before = select_all(session)              # warm
+        faults = session.cluster.faults
+        faults.install(FaultPlan([
+            Fault("hbase.put", nth_hit=2, kind="region_crash")]))
+        # The crash may be absorbed by task retry (statement commits)
+        # or surface (statement rolls forward or back on recover) —
+        # staleness must be impossible either way.
+        try:
+            session.execute("UPDATE t SET v = 5 WHERE k < 25")
+        except ReproError:
+            pass
+        handler = session.table("t").handler
+        with faults.paused():
+            handler.recover()
+            after = select_all(session)
+        faults.install(None)
+        updated = sorted((k, 5 if k < 25 else v) for k, v in ROWS)
+        assert after in (before, updated)         # atomic either way
+        assert after == fresh_rows(session)
+        counters = session.cluster.metrics.counters
+        assert counters["cache.delta.invalidations"] > 0
+
+    def test_direct_region_crash_clears_delta_cache(self):
+        session = build_session()
+        session.execute("UPDATE t SET v = 3 WHERE k < 10")
+        select_all(session)                       # cache delta ranges
+        cache = session.cluster.delta_cache
+        assert len(cache) > 0
+        handler = session.table("t").handler
+        handler.attached._service.crash_region_server()
+        assert len(cache) == 0
+        expect = sorted((k, 3 if k < 10 else v) for k, v in ROWS)
+        # WAL replay restores the acknowledged deltas; no stale reads.
+        assert select_all(session) == expect
+        assert fresh_rows(session) == expect
+
+
+class TestTrailingDeltas:
+    def test_trailing_delta_is_counted_not_dropped_silently(self):
+        """An attached entry beyond the last master row (e.g. left by a
+        file that shrank) cannot affect UNION READ output, but it must
+        be surfaced through the merge stats and metrics."""
+        session = build_session(rows=ROWS[:10], rows_per_file=10)
+        handler = session.table("t").handler
+        path = handler.master.file_paths()[0]
+        file_id = handler.master.file_id_of(path)
+        handler.attached.put_update(encode_record_id(file_id, 99),
+                                    {1: 777})
+        assert select_all(session) == sorted(ROWS[:10])
+        counters = session.cluster.metrics.counters
+        assert counters["unionread.trailing_deltas"] == 1
+        assert counters.get("unionread.deltas_applied", 0) == 0
+        # The counter keeps counting on re-reads (cached or not).
+        select_all(session)
+        assert counters["unionread.trailing_deltas"] == 2
+
+    def test_in_range_orphan_delta_counted_as_skipped(self):
+        """A delta whose id sorts inside the master range but matches no
+        master row is counted as skipped."""
+        session = build_session(rows=ROWS[:10], rows_per_file=10)
+        handler = session.table("t").handler
+        # A second, later file makes row ids from the *first* file's
+        # tail sort inside the overall attached range for that file.
+        session.execute("INSERT INTO t VALUES (500, 5000)")
+        path = handler.master.file_paths()[0]
+        file_id = handler.master.file_id_of(path)
+        handler.attached.put_update(encode_record_id(file_id, 4),
+                                    {1: 444})
+        handler.attached.put_update(encode_record_id(file_id, 55),
+                                    {1: 555})
+        expect = sorted([(k, 444 if k == 4 else v)
+                         for k, v in ROWS[:10]] + [(500, 5000)])
+        assert select_all(session) == expect
+        counters = session.cluster.metrics.counters
+        assert counters["unionread.deltas_applied"] == 1
+        assert counters["unionread.trailing_deltas"] == 1
