@@ -76,3 +76,15 @@ def test_ablation_failure(run_experiment):
               if str(row[0]).endswith("count")]
     # Every count phase returns the same answer despite the failure.
     assert len(set(counts)) == 1
+
+
+def test_ablation_autocompact(run_experiment):
+    result = run_experiment("ablation-autocompact")
+    totals = {r[0]: r[2] for r in result.rows if r[1] == "total"}
+    # Auto-incremental beats both extremes end to end.
+    assert totals["auto-incremental"] < totals["never-compact"]
+    assert totals["auto-incremental"] < totals["manual-full"]
+    # The daemon actually ran, and every executed compaction's cost
+    # prediction was audited within 25%.
+    assert result.extras["auto_compactions"] >= 1
+    assert result.extras["max_rel_error"] <= 0.25

@@ -215,9 +215,43 @@ class AttachedTable:
         start, stop = file_key_range(file_id)
         return self._htable().bytes_in_range(start, stop) > 0
 
+    def file_delta_stats(self, file_id):
+        """``(delta_bytes, delta_entries)`` for one master file.
+
+        Control-plane metadata (uncharged), like
+        :meth:`has_entries_in_file` — the compaction policy consults it
+        for every candidate file on every decision.
+        """
+        start, stop = file_key_range(file_id)
+        table = self._htable()
+        return (table.bytes_in_range(start, stop),
+                table.rows_in_range(start, stop))
+
     def entry_count(self):
         return self._htable().count_rows()
 
     def clear(self):
         self._invalidate_cache()
         self._htable().truncate()
+
+    def clear_file(self, file_id):
+        """Delete every delta of one master file; charged and idempotent.
+
+        Unlike :meth:`clear` (a free HBase ``truncate``), dropping one
+        file's key range is a real data-path operation: a charged scan
+        materializes the record IDs, then each row is deleted at per-op
+        cost.  Partial COMPACT pays this asymmetry by design — it is the
+        price of keeping every other file's deltas.  Returns the number
+        of rows deleted.
+        """
+        self._invalidate_cache()
+        start, stop = file_key_range(file_id)
+        table = self._htable()
+        doomed = [record_id for record_id, _ in table.scan(start, stop)]
+        for record_id in doomed:
+            table.delete_row(record_id)
+        # Range-scoped reclaim: without it the HBase backend would count
+        # the delete tombstones in ``bytes_in_range`` forever and stripe
+        # pruning for this file would never re-enable.
+        table.reclaim_range(start, stop)
+        return len(doomed)

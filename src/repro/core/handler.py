@@ -109,8 +109,10 @@ class DualTableHandler(StorageHandler):
         ``{"compact": <"rolled_forward"|"rolled_back"|"clean">,
         "dml": [(staging_path, outcome), ...]}``.
         """
-        return {"compact": self._recover_compact(),
-                "dml": recover_edit_logs(self)}
+        outcome = {"compact": self._recover_compact(),
+                   "dml": recover_edit_logs(self)}
+        self.note_attached_bytes()
+        return outcome
 
     def _ensure_recovered(self):
         if self._compacting:
@@ -133,15 +135,12 @@ class DualTableHandler(StorageHandler):
         """
         fs = self.env.fs
         if fs.exists(self._manifest_path):
-            valid = False
-            try:
-                manifest = json.loads(
-                    fs.read_file(self._manifest_path).decode("utf-8"))
-                valid = manifest.get("table") == self.table.name
-            except (ValueError, UnicodeDecodeError):
-                valid = False
-            if valid:
-                self._complete_compact()
+            manifest = self._load_valid_manifest()
+            if manifest is not None:
+                if manifest.get("mode") == "partial":
+                    self._complete_partial_compact(manifest)
+                else:
+                    self._complete_compact()
                 return "rolled_forward"
             fs.delete(self._manifest_path)
         rolled_back = False
@@ -159,6 +158,21 @@ class DualTableHandler(StorageHandler):
         if rolled_back:
             self._invalidate_master_cache()
         return "rolled_back" if rolled_back else "clean"
+
+    def _load_valid_manifest(self):
+        """The COMPACT manifest as a dict, or None if absent/torn."""
+        fs = self.env.fs
+        if not fs.exists(self._manifest_path):
+            return None
+        try:
+            manifest = json.loads(
+                fs.read_file(self._manifest_path).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(manifest, dict) \
+                or manifest.get("table") != self.table.name:
+            return None
+        return manifest
 
     # ------------------------------------------------------------------
     # Writes.
@@ -183,9 +197,21 @@ class DualTableHandler(StorageHandler):
             self.master.replace_with(rows)
             self.attached.clear()
             self._invalidate_master_cache()
+            self.note_attached_bytes()
         else:
             self.master.write_rows(rows)
         return len(rows)
+
+    def note_attached_bytes(self):
+        """Refresh the live per-table Attached-Table size gauge.
+
+        Every path that grows or shrinks the Attached Table calls this,
+        so the auto-compaction daemon and SHOW METRICS see delta
+        accumulation between compactions, not just the post-COMPACT zero.
+        """
+        self.env.cluster.metrics.gauge(
+            "dualtable.attached_bytes.%s" % self.table.name,
+            self.attached.size_bytes)
 
     # ------------------------------------------------------------------
     # Reads (UNION READ).
@@ -197,6 +223,9 @@ class DualTableHandler(StorageHandler):
         # may run on pool workers, and a WAL replay must happen (and be
         # charged) exactly once, before any of them look at key ranges.
         self.attached.ensure_available()
+        # Per-table read counter: the maintenance stats collector derives
+        # the read horizon from the scans-vs-DML mix.
+        self.env.cluster.metrics.incr("dualtable.scans.%s" % self.table.name)
         projection_list = list(projection) if projection else None
 
         def split_for(path):
@@ -416,6 +445,7 @@ class DualTableHandler(StorageHandler):
     def _note_plan_choice(self, plan, choice):
         metrics = self.env.cluster.metrics
         metrics.incr("dualtable.plan.%s" % plan)
+        metrics.incr("dualtable.dml.%s" % self.table.name)
         if self.mode != "cost" and plan != choice.plan:
             metrics.incr("dualtable.plan.forced")
 
@@ -443,9 +473,7 @@ class DualTableHandler(StorageHandler):
         cluster.metrics.incr("costmodel.audits")
         cluster.metrics.observe("costmodel.rel_error", rel_error)
         cluster.metrics.observe("costmodel.rel_error.%s" % plan, rel_error)
-        cluster.metrics.gauge(
-            "dualtable.attached_bytes.%s" % self.table.name,
-            self.attached.size_bytes)
+        self.note_attached_bytes()
         cluster.tracer.annotate(cost_audit=dict(audit))
         return audit
 
@@ -503,6 +531,7 @@ class DualTableHandler(StorageHandler):
         with self.env.cluster.tracer.span("phase", "dualtable:edit-commit",
                                           table=self.table.name):
             commit_seconds = batch.commit(session)
+        self.note_attached_bytes()
         jobs = session._dml_subquery_jobs + [result]
         sub = sum(j.sim_seconds for j in session._dml_subquery_jobs)
         return QueryResult(
@@ -539,6 +568,7 @@ class DualTableHandler(StorageHandler):
         with self.env.cluster.tracer.span("phase", "dualtable:edit-commit",
                                           table=self.table.name):
             commit_seconds = batch.commit(session)
+        self.note_attached_bytes()
         jobs = session._dml_subquery_jobs + [result]
         sub = sum(j.sim_seconds for j in session._dml_subquery_jobs)
         return QueryResult(
@@ -549,12 +579,27 @@ class DualTableHandler(StorageHandler):
     # ------------------------------------------------------------------
     # COMPACT (Section III-C): fold the Attached Table into the Master.
     # ------------------------------------------------------------------
-    def execute_compact(self, session, major=True):
+    def execute_compact(self, session, major=True, partial=False,
+                        max_files=None, victim_paths=None):
+        """Fold Attached-Table deltas into the Master.
+
+        Full COMPACT (``partial=False``) rewrites every master file and
+        truncates the Attached Table.  Partial COMPACT rewrites only the
+        highest-delta-density files (optionally capped at ``max_files``,
+        or the explicit ``victim_paths`` the auto-compaction policy
+        selected) and drops only the folded files' deltas — record IDs
+        of rewritten rows are remapped to the fresh file IDs the rewrite
+        allocates, while untouched files keep their IDs and deltas.
+        """
         self._check_not_compacting()
         self._ensure_recovered()
         if self.attached.is_empty():
-            return QueryResult(plan="compact-noop",
-                               detail={"attached_bytes": 0})
+            return self._compact_noop()
+        if partial:
+            victims = self._select_compact_victims(victim_paths, max_files)
+            if not victims:
+                return self._compact_noop()
+            return self._run_partial_compact(session, victims)
         attached_bytes = self.attached.size_bytes
         self._compacting = True
         cluster = self.env.cluster
@@ -578,20 +623,97 @@ class DualTableHandler(StorageHandler):
         cluster.metrics.incr("dualtable.compacts")
         cluster.metrics.observe("dualtable.compact.folded_bytes",
                                 attached_bytes)
-        cluster.metrics.gauge(
-            "dualtable.attached_bytes.%s" % self.table.name,
-            self.attached.size_bytes)
+        self.note_attached_bytes()
         return QueryResult(
             sim_seconds=result.sim_seconds + write_seconds,
             jobs=[result], affected=len(result.outputs),
             plan="compact",
             detail={"attached_bytes": attached_bytes,
+                    "folded_bytes": attached_bytes,
+                    "mode": "full", "files": len(splits),
                     "rows_written": len(result.outputs)})
 
-    def _compact_splits(self):
+    def _compact_noop(self):
+        self.note_attached_bytes()
+        return QueryResult(sim_seconds=0.0, jobs=[], affected=0,
+                           plan="compact-noop",
+                           detail={"attached_bytes": 0, "folded_bytes": 0,
+                                   "mode": "noop", "files": 0,
+                                   "rows_written": 0})
+
+    def _select_compact_victims(self, victim_paths, max_files):
+        """Dirty master files ordered by delta density (highest first).
+
+        Consults only control-plane metadata (file sizes, attached key
+        ranges) — selection itself is free, like plan choice.
+        """
+        candidates = []
+        for path in self.master.file_paths():
+            if victim_paths is not None and path not in victim_paths:
+                continue
+            file_id, _ = self.master.file_meta(path)
+            delta_bytes, delta_entries = \
+                self.attached.file_delta_stats(file_id)
+            if delta_bytes <= 0:
+                continue
+            master_bytes = max(1, self.env.fs.file_size(path))
+            candidates.append({"path": path, "file_id": file_id,
+                               "delta_bytes": delta_bytes,
+                               "delta_entries": delta_entries,
+                               "master_bytes": master_bytes})
+        candidates.sort(
+            key=lambda c: (-(c["delta_bytes"] / c["master_bytes"]),
+                           c["path"]))
+        if max_files is not None:
+            candidates = candidates[:max(1, int(max_files))]
+        return candidates
+
+    def _run_partial_compact(self, session, victims):
+        attached_bytes = self.attached.size_bytes
+        folded_bytes = sum(v["delta_bytes"] for v in victims)
+        self._compacting = True
+        cluster = self.env.cluster
+        try:
+            with cluster.tracer.span("phase", "dualtable:compact-partial",
+                                     table=self.table.name,
+                                     files=len(victims),
+                                     folded_bytes=folded_bytes):
+                splits = self._compact_splits(
+                    paths=[v["path"] for v in victims])
+
+                def map_fn(split, ctx):
+                    yield from self.read_split(split, ctx)
+
+                job = Job(name="compact-partial", splits=splits,
+                          map_fn=map_fn, reduce_fn=None)
+                result = session.runner.run(job)
+                write_seconds = run_with_retries(
+                    session,
+                    lambda: self._commit_partial_compact(result.outputs,
+                                                         victims),
+                    "compact-partial-commit")
+        finally:
+            self._compacting = False
+        cluster.metrics.incr("dualtable.compacts")
+        cluster.metrics.incr("dualtable.compacts.partial")
+        cluster.metrics.observe("dualtable.compact.folded_bytes",
+                                folded_bytes)
+        self.note_attached_bytes()
+        return QueryResult(
+            sim_seconds=result.sim_seconds + write_seconds,
+            jobs=[result], affected=len(result.outputs),
+            plan="compact-partial",
+            detail={"attached_bytes": attached_bytes,
+                    "folded_bytes": folded_bytes,
+                    "mode": "partial", "files": len(victims),
+                    "file_ids": [v["file_id"] for v in victims],
+                    "rows_written": len(result.outputs)})
+
+    def _compact_splits(self, paths=None):
         # scan_splits raises while _compacting; build splits directly.
         splits = []
-        for path in self.master.file_paths():
+        for path in (paths if paths is not None
+                     else self.master.file_paths()):
             reader = self.master.reader(path)
             splits.append(InputSplit(
                 payload={"path": path,
@@ -653,6 +775,87 @@ class DualTableHandler(StorageHandler):
         if fs.exists(self._compact_old):
             fs.delete(self._compact_old, recursive=True)
         hit("dualtable.compact.cleanup")
+        if fs.exists(self._manifest_path):
+            fs.delete(self._manifest_path)
+
+    def _commit_partial_compact(self, rows, victims):
+        """Two-phase commit of a partial compaction (idempotent).
+
+        Same protocol shape as :meth:`_commit_compact`: phase 1 writes
+        the replacement files into ``master.__compact__`` and then the
+        manifest — the commit point; phase 2 swaps per file.  Unlike the
+        full path, phase 2 performs *charged* Attached-Table range
+        deletes (``clear_file``), whose ``hbase.delete`` fault point can
+        raise retryable faults — so a re-entry first checks for an
+        already-committed manifest and resumes phase 2 instead of
+        rebuilding phase 1 (which would double-apply the swap).
+        """
+        fs = self.env.fs
+        faults = self.env.cluster.faults
+        manifest = self._load_valid_manifest()
+        if manifest is not None and manifest.get("mode") == "partial":
+            self._complete_partial_compact(manifest)
+            return
+        faults.hit("dualtable.compact.partial.write", table=self.table.name)
+        if fs.exists(self._compact_tmp):
+            fs.delete(self._compact_tmp, recursive=True)
+        fs.mkdirs(self._compact_tmp)
+        new_paths = self.master.write_rows(rows, directory=self._compact_tmp)
+        faults.hit("dualtable.compact.partial.manifest",
+                   table=self.table.name)
+        manifest = {
+            "table": self.table.name,
+            "mode": "partial",
+            "tmp": self._compact_tmp,
+            "location": self.master.location,
+            "rows": len(rows),
+            "old_paths": [v["path"] for v in victims],
+            "folded_file_ids": [v["file_id"] for v in victims],
+            "new_names": [p.rsplit("/", 1)[1] for p in new_paths],
+        }
+        if fs.exists(self._manifest_path):
+            fs.delete(self._manifest_path)
+        fs.write_file(self._manifest_path,
+                      json.dumps(manifest).encode("utf-8"))
+        self._complete_partial_compact(manifest, inject=True)
+
+    def _complete_partial_compact(self, manifest, inject=False):
+        """Finish a committed partial compaction; every step re-runnable.
+
+        Per-file existence-guarded renames move the replacement files
+        into the master directory, the folded originals are deleted, and
+        only the folded files' deltas are dropped from the Attached
+        Table.  Replaying from any prefix converges: renamed files skip
+        (source gone), deletes are guarded, and ``clear_file`` of an
+        already-empty range is a no-op.
+        """
+        fs = self.env.fs
+        faults = self.env.cluster.faults
+
+        def hit(point):
+            if inject:
+                faults.hit(point, table=self.table.name)
+
+        location = manifest["location"]
+        tmp = manifest["tmp"]
+        hit("dualtable.compact.partial.swap")
+        for name in manifest["new_names"]:
+            src = "%s/%s" % (tmp, name)
+            if fs.exists(src):
+                dst = "%s/%s" % (location, name)
+                if fs.exists(dst):
+                    fs.delete(src)
+                else:
+                    fs.rename(src, dst)
+        for old in manifest["old_paths"]:
+            if fs.exists(old):
+                fs.delete(old)
+        self._invalidate_master_cache()
+        hit("dualtable.compact.partial.delta_drop")
+        for file_id in manifest["folded_file_ids"]:
+            self.attached.clear_file(int(file_id))
+        if fs.exists(tmp):
+            fs.delete(tmp, recursive=True)
         if fs.exists(self._manifest_path):
             fs.delete(self._manifest_path)
 

@@ -80,6 +80,16 @@ class MasterTable:
     def reader(self, path):
         return OrcReader(self.fs, path)
 
+    def file_meta(self, path):
+        """``(file_id, num_rows)`` without charging the footer read.
+
+        Control-plane metadata, like ``fs.file_size``: real warehouses
+        keep per-file stats in the metastore, so planning (victim
+        selection, compaction policy) consults them for free.
+        """
+        reader = OrcReader(self.fs.read_file_silent(path))
+        return int(reader.metadata[FILE_ID_KEY]), reader.num_rows
+
     def readers(self):
         return [self.reader(p) for p in self.file_paths()]
 

@@ -80,7 +80,11 @@ def make_ops(rng, num_rows, n_statements):
 
             ops.append(("delete", sql, apply_fn))
         else:
-            ops.append(("compact", "COMPACT TABLE t", None))
+            # Half the compactions are incremental, so the partial 2PC
+            # fault points get hit under random schedules too.
+            sql = ("COMPACT TABLE t PARTIAL" if rng.random() < 0.5
+                   else "COMPACT TABLE t")
+            ops.append(("compact", sql, None))
     return ops
 
 

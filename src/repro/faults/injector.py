@@ -49,6 +49,11 @@ POINT_KINDS = {
     "dualtable.compact.swap2": ("kill",),
     "dualtable.compact.truncate": ("kill",),
     "dualtable.compact.cleanup": ("kill",),
+    "dualtable.compact.partial.write": ("kill",),
+    "dualtable.compact.partial.manifest": ("kill",),
+    "dualtable.compact.partial.swap": ("kill",),
+    "dualtable.compact.partial.delta_drop": ("kill",),
+    "dualtable.autocompact.tick": ("kill",),
 }
 
 INJECTION_POINTS = tuple(sorted(POINT_KINDS))

@@ -121,6 +121,30 @@ class Region:
         self.hfiles = [merged] if cells else []
         return merged
 
+    def purge_range(self, start_row=None, stop_row=None):
+        """Physically drop every cell in range, tombstones included.
+
+        Rebuilds the memstore, HFiles and WAL without the range's cells
+        — the storage-level effect of a range-scoped major compaction.
+        The WAL is purged too, so a later :meth:`recover` cannot
+        resurrect reclaimed cells.
+        """
+        def in_range(row):
+            if start_row is not None and row < start_row:
+                return False
+            return stop_row is None or row < stop_row
+
+        kept = [c for c in self.memstore.scan() if not in_range(c.row)]
+        self.memstore = MemStore()
+        for cell in kept:
+            self.memstore.add(cell)
+        self.hfiles = [f for f in
+                       (HFile([c for c in f.scan() if not in_range(c.row)])
+                        for f in self.hfiles)
+                       if len(f)]
+        self.wal = [c for c in self.wal if not in_range(c.row)]
+        self.wal_bytes = sum(c.size_bytes() for c in self.wal)
+
     # ------------------------------------------------------------------
     # Reads.
     # ------------------------------------------------------------------

@@ -145,6 +145,19 @@ class HTable:
         self.regions = [Region(bounds[i], bounds[i + 1])
                         for i in range(len(bounds) - 1)]
 
+    def reclaim_range(self, start_row=None, stop_row=None):
+        """Physically drop every cell in range, tombstones included.
+
+        Models the range-scoped major compaction that follows a bulk
+        delete.  Like :meth:`truncate` the reclaim itself is background
+        I/O the client does not wait on, but without it
+        ``bytes_in_range`` would count tombstones forever and stripe
+        pruning over the range would never re-enable.
+        """
+        self._service.ensure_available()
+        for region in self._regions_in_range(start_row, stop_row):
+            region.purge_range(start_row, stop_row)
+
     # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------
@@ -160,6 +173,12 @@ class HTable:
         self._service.ensure_available()
         return sum(r.bytes_in_range(start_row, stop_row)
                    for r in self._regions_in_range(start_row, stop_row))
+
+    def rows_in_range(self, start_row=None, stop_row=None):
+        """Live (resolved) row count in range; control-plane, uncharged."""
+        self._service.ensure_available()
+        return sum(sum(1 for _ in region.scan(start_row, stop_row))
+                   for region in self._regions_in_range(start_row, stop_row))
 
     def cell_count(self):
         self._service.ensure_available()

@@ -237,6 +237,22 @@ class DropTableStmt(Statement):
 class CompactStmt(Statement):
     table: str
     major: bool = True
+    partial: bool = False       # COMPACT TABLE t PARTIAL [n]
+    max_files: int = None
+
+
+@dataclass
+class AlterAutoCompactStmt(Statement):
+    """``ALTER TABLE t SET AUTOCOMPACT (ON|OFF, key = value, ...)``."""
+
+    table: str
+    enabled: bool = True
+    options: dict = field(default_factory=dict)
+
+
+@dataclass
+class ShowCompactionsStmt(Statement):
+    pass
 
 
 @dataclass

@@ -44,9 +44,12 @@ def explain(session, stmt, analyze=False):
         _explain_merge(session, stmt, lines)
     elif isinstance(stmt, ast.CompactStmt):
         info = session.metastore.table(stmt.table)
-        lines.append("COMPACT %s (%s, %s)"
-                     % (stmt.table, info.storage,
-                        "major" if stmt.major else "minor"))
+        if stmt.partial:
+            mode = "partial" if stmt.max_files is None \
+                else "partial %d" % stmt.max_files
+        else:
+            mode = "major" if stmt.major else "minor"
+        lines.append("COMPACT %s (%s, %s)" % (stmt.table, info.storage, mode))
     else:
         lines.append("statement: %s" % type(stmt).__name__)
     if not analyze:

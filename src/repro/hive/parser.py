@@ -136,6 +136,9 @@ class Parser:
             if token.kind == "ident" and token.value.lower() == "metrics":
                 self.advance()
                 return ast.ShowMetricsStmt()
+            if token.kind == "ident" and token.value.lower() == "compactions":
+                self.advance()
+                return ast.ShowCompactionsStmt()
             self.expect_kw("tables")
             return ast.ShowTablesStmt()
         if self.check_kw("describe"):
@@ -459,6 +462,8 @@ class Parser:
         self.expect_kw("alter")
         self.expect_kw("table")
         table = self.expect_ident()
+        if self.accept_kw("set"):
+            return self._alter_autocompact(table)
         self.expect_kw("drop")
         self.expect_kw("partition")
         self.expect("punct", "(")
@@ -481,14 +486,60 @@ class Parser:
         self.expect("punct", ")")
         return ast.AlterDropPartitionStmt(table=table, spec=spec)
 
+    def _alter_autocompact(self, table):
+        # AUTOCOMPACT is not a reserved word; accept it as a bare ident.
+        token = self.advance()
+        if token.kind != "ident" or token.value.lower() != "autocompact":
+            raise ParseError("expected AUTOCOMPACT after ALTER TABLE "
+                             "... SET", token.pos)
+        self.expect("punct", "(")
+        if self.accept_kw("on"):
+            enabled = True
+        else:
+            token = self.advance()
+            if token.kind != "ident" or token.value.lower() != "off":
+                raise ParseError("expected ON or OFF in AUTOCOMPACT (...)",
+                                 token.pos)
+            enabled = False
+        options = {}
+        while self.accept("punct", ","):
+            key = self.expect_ident().lower()
+            self.expect("op", "=")
+            token = self.advance()
+            if token.kind == "number":
+                value = token.value
+                if not isinstance(value, (int, float)):
+                    value = float(value)
+            elif token.kind in ("string", "ident"):
+                value = token.value
+            elif token.kind == "kw" and token.value in ("true", "false"):
+                value = token.value == "true"
+            else:
+                raise ParseError("expected a literal AUTOCOMPACT option "
+                                 "value", token.pos)
+            options[key] = value
+        self.expect("punct", ")")
+        return ast.AlterAutoCompactStmt(table=table, enabled=enabled,
+                                        options=options)
+
     def _compact(self):
         self.expect_kw("compact")
         self.accept_kw("table")
         table = self.expect_ident()
         major = True
-        if self.check("ident") and self.peek().value.lower() in ("minor", "major"):
-            major = self.advance().value.lower() == "major"
-        return ast.CompactStmt(table=table, major=major)
+        partial = False
+        max_files = None
+        while self.check("ident") \
+                and self.peek().value.lower() in ("minor", "major", "partial"):
+            word = self.advance().value.lower()
+            if word == "partial":
+                partial = True
+                if self.check("number"):
+                    max_files = int(self.advance().value)
+            else:
+                major = word == "major"
+        return ast.CompactStmt(table=table, major=major, partial=partial,
+                               max_files=max_files)
 
     # ------------------------------------------------------------------
     # Expressions (precedence climbing).

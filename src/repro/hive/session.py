@@ -71,6 +71,10 @@ class HiveSession:
         self._stmt_depth = 0
         self._ensure_extended_handlers()
         self._bind_fault_actions()
+        # Imported lazily: repro.maintenance returns QueryResults, so a
+        # top-level import would be circular.
+        from repro.maintenance import AutoCompactionDaemon
+        self.maintenance = AutoCompactionDaemon(self)
 
     def _bind_fault_actions(self):
         """Wire side-effecting fault kinds to this session's subsystems."""
@@ -128,6 +132,10 @@ class HiveSession:
         self.cluster.metrics.incr("session.statements.%s" % verb)
         if self._stmt_depth == 0 and result.sim_seconds > 0:
             self.cluster.clock.advance(result.sim_seconds)
+        if self._stmt_depth == 0:
+            # Background maintenance runs between statements, on the
+            # advanced clock, never inside one (see repro.maintenance).
+            self.maintenance.tick()
         return result
 
     def _dispatch_statement(self, stmt):
@@ -170,6 +178,14 @@ class HiveSession:
             return QueryResult(plan="drop")
         if isinstance(stmt, ast.CompactStmt):
             return self._compact(stmt)
+        if isinstance(stmt, ast.AlterAutoCompactStmt):
+            return self.maintenance.configure(stmt.table, stmt.enabled,
+                                              stmt.options)
+        if isinstance(stmt, ast.ShowCompactionsStmt):
+            from repro.maintenance.daemon import COMPACTION_COLUMNS
+            return QueryResult(names=list(COMPACTION_COLUMNS),
+                               rows=self.maintenance.compaction_rows(),
+                               plan="show-compactions")
         if isinstance(stmt, ast.ShowPartitionsStmt):
             info = self.metastore.table(stmt.table)
             handler = info.handler
@@ -554,6 +570,16 @@ class HiveSession:
         info = self.metastore.table(stmt.table)
         handler = info.handler
         if hasattr(handler, "execute_compact"):
+            if getattr(handler, "kind", None) == "dualtable":
+                result = handler.execute_compact(
+                    self, major=stmt.major, partial=stmt.partial,
+                    max_files=stmt.max_files)
+                self.maintenance.note_manual(info.name, result)
+                return result
+            if stmt.partial:
+                raise AnalysisError(
+                    "COMPACT ... PARTIAL requires a DualTable table "
+                    "(got %s stored as %s)" % (info.name, info.storage))
             return handler.execute_compact(self, major=stmt.major)
         if hasattr(handler, "_htable"):
             seconds = self._charged_parallel(

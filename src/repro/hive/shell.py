@@ -32,8 +32,10 @@ HELP_TEXT = """\
 Statements end with ';'. Supported: CREATE TABLE ... [PARTITIONED BY
 (...)] STORED AS {ORC|HBASE|DUALTABLE|ACID}, CREATE VIEW, DROP, INSERT
 [PARTITION (...)], SELECT (joins/group by/subqueries/UNION ALL), UPDATE,
-DELETE, MERGE INTO, COMPACT, EXPLAIN [ANALYZE], SHOW TABLES,
-SHOW PARTITIONS, SHOW METRICS, DESCRIBE, ALTER TABLE ... DROP PARTITION.
+DELETE, MERGE INTO, COMPACT [PARTIAL [n]], EXPLAIN [ANALYZE], SHOW
+TABLES, SHOW PARTITIONS, SHOW METRICS, SHOW COMPACTIONS, DESCRIBE,
+ALTER TABLE ... DROP PARTITION,
+ALTER TABLE t SET AUTOCOMPACT (ON|OFF[, horizon = h, max_files = k]).
 
 Shell commands:
   !tables          list tables with storage kind and row counts

@@ -187,6 +187,9 @@ class BTreeTable:
         self._keys = []
         self._rows = []
 
+    def reclaim_range(self, start_row=None, stop_row=None):
+        """No-op: B-tree deletes already remove rows in place."""
+
     def flush(self):
         """No-op: B-tree writes are in place."""
 
@@ -207,6 +210,14 @@ class BTreeTable:
                 break
             total += self._row_bytes(self._keys[idx], self._rows[idx])
         return total
+
+    def rows_in_range(self, start_row=None, stop_row=None):
+        """Row count in range; control-plane metadata, uncharged."""
+        lo = 0 if start_row is None else bisect.bisect_left(self._keys,
+                                                            start_row)
+        hi = (len(self._keys) if stop_row is None
+              else bisect.bisect_left(self._keys, stop_row))
+        return max(0, hi - lo)
 
     def count_rows(self):
         return len(self._keys)

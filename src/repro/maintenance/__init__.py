@@ -1,0 +1,27 @@
+"""Autonomous maintenance: stats-driven background compaction.
+
+Three layers (each importable on its own):
+
+* :mod:`repro.maintenance.stats` — per-table read/write-mix statistics
+  derived from the cluster's MetricsRegistry counters;
+* :mod:`repro.maintenance.policy` — the amortized compaction decision
+  rule extending the Section-IV cost model: compact a file set now iff
+  the projected union-read overhead over the stats-derived read horizon
+  exceeds the rewrite cost;
+* :mod:`repro.maintenance.daemon` — the sim-clock-driven daemon the
+  session ticks between statements, with a concurrency guard against
+  in-flight DML and a bounded decision log behind ``SHOW COMPACTIONS``.
+"""
+
+from repro.maintenance.daemon import AutoCompactionDaemon, CompactionRecord
+from repro.maintenance.policy import CompactionDecision, CompactionPolicy
+from repro.maintenance.stats import StatsCollector, TableStats
+
+__all__ = [
+    "AutoCompactionDaemon",
+    "CompactionDecision",
+    "CompactionPolicy",
+    "CompactionRecord",
+    "StatsCollector",
+    "TableStats",
+]

@@ -120,6 +120,134 @@ class TestCompactCrashRecovery:
             "SELECT * FROM dt ORDER BY id").rows == expect
 
 
+PARTIAL_POINTS = (
+    "dualtable.compact.partial.write",
+    "dualtable.compact.partial.manifest",
+    "dualtable.compact.partial.swap",
+    "dualtable.compact.partial.delta_drop",
+)
+
+
+class TestPartialCompactCrashRecovery:
+    @pytest.mark.parametrize("point", PARTIAL_POINTS)
+    def test_kill_at_each_point_then_recover(self, session, point):
+        handler = make_dualtable(session)
+        _dirty(session)
+        expect = _select_all(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault(point, nth_hit=1, kind="kill")]))
+        with pytest.raises(ReproError):
+            session.execute("COMPACT TABLE dt PARTIAL")
+        with session.cluster.faults.paused():
+            handler.recover()
+        assert _select_all(session) == expect
+        session.cluster.faults.uninstall()
+        session.execute("UPDATE dt SET tag = 'post' WHERE id = 0")
+        assert session.execute(
+            "SELECT tag FROM dt WHERE id = 0").scalar() == "post"
+
+    @pytest.mark.parametrize("point", PARTIAL_POINTS)
+    def test_recover_twice_is_idempotent(self, session, point):
+        handler = make_dualtable(session)
+        _dirty(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault(point, nth_hit=1, kind="kill")]))
+        with pytest.raises(ReproError):
+            session.execute("COMPACT TABLE dt PARTIAL")
+        session.cluster.faults.uninstall()
+        handler.recover()
+        files_once = sorted(handler.master.file_paths())
+        rows_once = _select_all(session)
+        handler.recover()
+        assert sorted(handler.master.file_paths()) == files_once
+        assert _select_all(session) == rows_once
+
+    def test_pre_manifest_crash_rolls_back(self, session):
+        handler = make_dualtable(session)
+        _dirty(session)
+        files_before = sorted(handler.master.file_paths())
+        deltas_before = handler.attached.size_bytes
+        session.cluster.faults.install(FaultPlan([
+            Fault("dualtable.compact.partial.write",
+                  nth_hit=1, kind="kill")]))
+        with pytest.raises(ReproError):
+            session.execute("COMPACT TABLE dt PARTIAL")
+        session.cluster.faults.uninstall()
+        outcome = handler.recover()
+        assert outcome["compact"] in ("rolled_back", "clean")
+        assert sorted(handler.master.file_paths()) == files_before
+        assert handler.attached.size_bytes == deltas_before
+
+    def test_post_manifest_crash_rolls_forward(self, session):
+        handler = make_dualtable(session)
+        _dirty(session)
+        expect = _select_all(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault("dualtable.compact.partial.swap",
+                  nth_hit=1, kind="kill")]))
+        with pytest.raises(ReproError):
+            session.execute("COMPACT TABLE dt PARTIAL")
+        session.cluster.faults.uninstall()
+        outcome = handler.recover()
+        assert outcome["compact"] == "rolled_forward"
+        assert _select_all(session) == expect
+        # Partial fold: every victim's deltas dropped, table readable.
+        assert handler.attached.is_empty()
+
+    def test_max_files_keeps_other_deltas(self, session):
+        """PARTIAL 1 folds only the densest file; the rest keep their
+        deltas and the merged view is unchanged."""
+        handler = make_dualtable(session)
+        _dirty(session)
+        expect = _select_all(session)
+        result = session.execute("COMPACT TABLE dt PARTIAL 1")
+        assert result.detail["mode"] == "partial"
+        assert result.detail["files"] == 1
+        assert not handler.attached.is_empty()
+        assert _select_all(session) == expect
+        # A second unbounded pass folds the remainder.
+        result = session.execute("COMPACT TABLE dt PARTIAL")
+        assert result.detail["mode"] == "partial"
+        assert handler.attached.is_empty()
+        assert _select_all(session) == expect
+
+    def test_retryable_crash_mid_delta_drop_self_heals(self, session):
+        """A non-fatal fault inside clear_file's hbase deletes re-enters
+        the commit via run_with_retries; the manifest resume guard must
+        finish phase 2 instead of double-applying the swap."""
+        handler = make_dualtable(session)
+        _dirty(session)
+        expect = _select_all(session)
+        session.cluster.faults.install(FaultPlan([
+            Fault("hbase.delete", nth_hit=1, kind="crash")]))
+        result = session.execute("COMPACT TABLE dt PARTIAL")
+        session.cluster.faults.uninstall()
+        assert result.detail["mode"] == "partial"
+        assert _select_all(session) == expect
+        assert handler.attached.is_empty()
+
+    def test_chaos_schedule_converges(self, session):
+        """Random kills across every partial fault point, recovering
+        after each, never lose or duplicate a row."""
+        handler = make_dualtable(session)
+        _dirty(session)
+        expect = _select_all(session)
+        for i, point in enumerate(PARTIAL_POINTS):
+            session.cluster.faults.install(FaultPlan([
+                Fault(point, nth_hit=1, kind="kill")]))
+            with pytest.raises(ReproError):
+                session.execute("COMPACT TABLE dt PARTIAL 1")
+            session.cluster.faults.uninstall()
+            handler.recover()
+            assert _select_all(session) == expect
+            # Re-dirty so the next iteration has work to crash on.
+            session.execute("UPDATE dt SET tag = 'c%d' WHERE id = %d"
+                            % (i, i))
+            expect = _select_all(session)
+        session.execute("COMPACT TABLE dt PARTIAL")
+        assert _select_all(session) == expect
+
+
 class TestDmlCrashRecovery:
     def test_stage_kill_rolls_back(self, session):
         """A crash before the redo log is durable publishes nothing."""
