@@ -45,11 +45,30 @@ SCALES = {
 #: Simulated output is byte-identical for any value (repro.parallel).
 WORKERS = 1
 
+#: execution engine for every bench session (``--engine``); None keeps
+#: the session default.  Simulated output is byte-identical either way.
+ENGINE = None
+
 
 def set_workers(workers):
     """Set the pool width used by every subsequently built session."""
     global WORKERS
     WORKERS = max(1, int(workers))
+
+
+def set_engine(engine):
+    """Select the engine (row|vectorized) for subsequent sessions."""
+    from repro.hive.session import ENGINES
+
+    global ENGINE
+    if engine is not None and engine not in ENGINES:
+        raise ValueError("unknown engine %r (choose from %s)"
+                         % (engine, "/".join(ENGINES)))
+    ENGINE = engine
+
+
+def _new_session(profile_name):
+    return HiveSession(profile=bench_profile(profile_name), engine=ENGINE)
 
 
 def bench_profile(name="bench"):
@@ -86,7 +105,7 @@ def _storage_properties(storage, n_rows, profile_extra=None):
 def tpch_session(storage, scale, mode=None, tables=("lineitem", "orders"),
                  read_factor=None):
     """Fresh session with the TPC-H tables loaded under ``storage``."""
-    session = HiveSession(profile=bench_profile("tpch-bench"))
+    session = _new_session("tpch-bench")
     est_lineitems = scale.tpch_orders * 4
     extra = {}
     if mode is not None:
@@ -117,7 +136,7 @@ def _apply_tpch_scaling(session, counts):
 def grid_session(storage, scale, tables, mode=None, read_factor=None,
                  scaling_table=None):
     """Fresh session with the given grid tables loaded under ``storage``."""
-    session = HiveSession(profile=bench_profile("grid-bench"))
+    session = _new_session("grid-bench")
     extra = {}
     if mode is not None:
         extra["dualtable.mode"] = mode

@@ -212,20 +212,42 @@ class AttachedTable:
 
     def has_entries_in_file(self, file_id):
         """Metadata-level check used to decide if stripe pruning is safe."""
-        start, stop = file_key_range(file_id)
-        return self._htable().bytes_in_range(start, stop) > 0
+        return self.file_delta_stats(file_id)[0] > 0
 
     def file_delta_stats(self, file_id):
         """``(delta_bytes, delta_entries)`` for one master file.
 
-        Control-plane metadata (uncharged), like
-        :meth:`has_entries_in_file` — the compaction policy consults it
-        for every candidate file on every decision.
+        Control-plane metadata (uncharged), like the key-range scans it
+        wraps — the compaction policy consults it for every candidate
+        file on every decision, and scan planning asks it per file to
+        decide whether stripe pruning (and the batch path's zero-delta
+        fast path) is safe.
+
+        The answer is memoized as a **delta-presence index** in the
+        delta-range cache, keyed ``(table, backend, file_id,
+        "presence")`` — one entry per master file recording how many
+        delta bytes/entries sit in its record-id key range.  Storing it
+        in the same cache as :meth:`scan_file` results means every
+        existing invalidation path (``put_update`` / ``put_delete`` /
+        ``clear`` / ``clear_file`` via ``_invalidate_cache``, HBase
+        COMPACT's group invalidation, a region-server crash clearing
+        the whole cache, LRU eviction) covers the index for free; a
+        stale presence answer is impossible by construction.
         """
+        cache = self._delta_cache()
+        key = None
+        if cache is not None and cache.budget_bytes > 0:
+            key = (self.name, self.backend, file_id, "presence")
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
         start, stop = file_key_range(file_id)
         table = self._htable()
-        return (table.bytes_in_range(start, stop),
-                table.rows_in_range(start, stop))
+        stats = (table.bytes_in_range(start, stop),
+                 table.rows_in_range(start, stop))
+        if key is not None:
+            cache.put(key, stats, nbytes=64)
+        return stats
 
     def entry_count(self):
         return self._htable().count_rows()

@@ -31,7 +31,7 @@ from repro.core.master import MasterTable
 from repro.core.metadata import DualTableMetadata
 from repro.core.record_id import RECORD_ID_BYTES
 from repro.core.udtf import delete_udtf, update_udtf
-from repro.core.union_read import union_read_file
+from repro.core.union_read import union_read_batches, union_read_file
 from repro.parallel import parallel_map
 
 #: per-assignment Attached-Table payload estimate: 3-byte qualifier +
@@ -268,26 +268,65 @@ class DualTableHandler(StorageHandler):
                                         projection_map, stats=stats):
                 nrows += 1
                 yield item
-            # Per-row merge-path invocation overhead (Figure 4).
-            profile = cluster.profile
-            cluster.charge_fixed(
-                "cpu", "unionread",
-                nrows * profile.op_scale * profile.unionread_row_cost_s)
-            span.annotate(rows=nrows, **stats)
-            metrics = cluster.metrics
-            metrics.incr("unionread.files")
-            metrics.incr("unionread.rows", nrows)
-            if stats.get("deltas_applied"):
-                metrics.incr("unionread.deltas_applied",
-                             stats["deltas_applied"])
-            if stats.get("rows_deleted"):
-                metrics.incr("unionread.rows_deleted", stats["rows_deleted"])
-            if stats.get("deltas_skipped"):
-                metrics.incr("unionread.deltas_skipped",
-                             stats["deltas_skipped"])
-            if stats.get("trailing_deltas"):
-                metrics.incr("unionread.trailing_deltas",
-                             stats["trailing_deltas"])
+            self._note_union_read(span, nrows, stats)
+
+    def read_split_batches(self, split, ctx, batch_rows=None):
+        """Columnar UNION READ of one master file.
+
+        Shares every charge and counter with :meth:`read_split_with_rids`
+        (footer + stripe-column bytes via the ORC reader, the delta scan
+        via ``scan_file``, the per-output-row ``unionread`` CPU charge,
+        the ``unionread.*`` metrics) — only the wall-clock work differs.
+        When the file has no attached deltas the batches stream straight
+        through ``union_read_batches``'s zero-delta fast path: no merge
+        loop, no per-row record-id encoding.
+        """
+        payload = split.payload
+        cluster = self.env.cluster
+        with cluster.tracer.span("substrate",
+                                 "union-read:%d" % payload["file_id"],
+                                 path=payload["path"]) as span:
+            reader = self.master.reader(payload["path"])
+            projection = payload["projection"]
+            stripe_filter = make_stripe_filter(
+                [n for n, _ in reader.schema], payload["ranges"] or {})
+            orc_batches = reader.batches(projection=projection,
+                                         stripe_filter=stripe_filter,
+                                         batch_rows=batch_rows)
+            projection_map = self._projection_map(projection)
+            deltas = self.attached.scan_file(payload["file_id"])
+            stats = {}
+            nrows = 0
+            for batch in union_read_batches(payload["file_id"], orc_batches,
+                                            deltas, projection_map,
+                                            stats=stats):
+                nrows += batch.length
+                yield batch
+            self._note_union_read(span, nrows, stats)
+
+    def _note_union_read(self, span, nrows, stats):
+        """Post-merge accounting shared by the row and batch paths."""
+        cluster = self.env.cluster
+        # Per-row merge-path invocation overhead (Figure 4).
+        profile = cluster.profile
+        cluster.charge_fixed(
+            "cpu", "unionread",
+            nrows * profile.op_scale * profile.unionread_row_cost_s)
+        span.annotate(rows=nrows, **stats)
+        metrics = cluster.metrics
+        metrics.incr("unionread.files")
+        metrics.incr("unionread.rows", nrows)
+        if stats.get("deltas_applied"):
+            metrics.incr("unionread.deltas_applied",
+                         stats["deltas_applied"])
+        if stats.get("rows_deleted"):
+            metrics.incr("unionread.rows_deleted", stats["rows_deleted"])
+        if stats.get("deltas_skipped"):
+            metrics.incr("unionread.deltas_skipped",
+                         stats["deltas_skipped"])
+        if stats.get("trailing_deltas"):
+            metrics.incr("unionread.trailing_deltas",
+                         stats["trailing_deltas"])
 
     def _projection_map(self, projection):
         schema = self.schema

@@ -30,12 +30,17 @@ class AggregateSpec:
         return None     # sum/min/max start empty (NULL when no rows)
 
     def add(self, acc, values):
-        if self.count_star:
-            arg = 1
-        else:
-            arg = self.arg_fn(values)
-            if arg is None:
-                return acc
+        arg = 1 if self.count_star else self.arg_fn(values)
+        return self.add_value(acc, arg)
+
+    def add_value(self, acc, arg):
+        """Fold one already-evaluated argument into the accumulator.
+
+        Split out of :meth:`add` so the vectorized engine can evaluate
+        argument columns batch-at-a-time and feed values directly.
+        """
+        if arg is None and not self.count_star:
+            return acc
         if self.distinct:
             acc.add(arg)
             return acc

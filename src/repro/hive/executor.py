@@ -14,6 +14,8 @@ estimated serialized size is charged as HDFS write+read, like Hive's
 inter-job temp files.
 """
 
+import heapq
+
 from dataclasses import dataclass, field
 
 from repro.common.errors import AnalysisError
@@ -25,6 +27,8 @@ from repro.hive.expressions import (Env, compile_expr, contains_aggregate,
                                     find_subqueries, is_true,
                                     referenced_columns, walk)
 from repro.hive.pushdown import extract_ranges
+from repro.hive.vexpr import compile_batch, compile_batch_predicate
+from repro.vector import DEFAULT_BATCH_ROWS, batches_from_rows
 
 
 # ----------------------------------------------------------------------
@@ -55,6 +59,21 @@ class ScanSource:
                     yield values
         return read
 
+    def make_batch_reader(self, batch_rows=DEFAULT_BATCH_ROWS):
+        handler = self.handler
+        predicate = (compile_batch_predicate(self.filter_expr, self.env)
+                     if self.filter_expr is not None else None)
+
+        def read(split, ctx):
+            for batch in handler.read_split_batches(split, ctx,
+                                                    batch_rows=batch_rows):
+                if predicate is not None:
+                    batch = predicate(batch)
+                    if batch.length == 0:
+                        continue
+                yield batch
+        return read
+
 
 @dataclass
 class MaterializedSource:
@@ -79,6 +98,14 @@ class MaterializedSource:
         def read(split, ctx):
             ctx.cluster.charge_hdfs_read(split.size_bytes)
             yield from split.payload
+        return read
+
+    def make_batch_reader(self, batch_rows=DEFAULT_BATCH_ROWS):
+        width = self.env.width
+
+        def read(split, ctx):
+            ctx.cluster.charge_hdfs_read(split.size_bytes)
+            yield from batches_from_rows(split.payload, width, batch_rows)
         return read
 
 
@@ -123,6 +150,27 @@ class SelectExecutor:
     @property
     def runner(self):
         return self.session.env.runner
+
+    @property
+    def engine(self):
+        """``"row"`` or ``"vectorized"`` — a wall-clock-only choice."""
+        return getattr(self.session, "engine", "row")
+
+    @property
+    def batch_rows(self):
+        return getattr(self.session, "batch_rows", DEFAULT_BATCH_ROWS)
+
+    def _splits(self, relation):
+        """Splits for a relation, honoring the session batch-size knob.
+
+        The knob is shared deliberately: a MaterializedSource split is
+        exactly one batch on the vectorized path, so one setting governs
+        both task granularity and batch sizing (task count affects
+        simulated time identically under either engine).
+        """
+        if isinstance(relation, MaterializedSource):
+            return relation.splits(chunk_rows=self.batch_rows)
+        return relation.splits()
 
     # ------------------------------------------------------------------
     def run(self, stmt):
@@ -412,43 +460,76 @@ class SelectExecutor:
         right_keys = [compile_expr(r, right_env) for _, r in equi]
         leftover_fn = (compile_expr(leftover, merged_env)
                        if leftover is not None else None)
-        left_reader, right_reader = left.make_reader(), right.make_reader()
         left_width, right_width = left_env.width, right_env.width
         kind = join.kind
 
         splits = ([InputSplit(payload=("L", s), size_bytes=s.size_bytes,
-                              label="L:" + s.label) for s in left.splits()]
+                              label="L:" + s.label)
+                   for s in self._splits(left)]
                   + [InputSplit(payload=("R", s), size_bytes=s.size_bytes,
                                 label="R:" + s.label)
-                     for s in right.splits()])
+                     for s in self._splits(right)])
 
-        def map_fn(split, ctx):
-            # NULL-key sentinels are unique per row so null keys never
-            # group; keyed by (task_index, local_i) — not a shared
-            # counter — so key assignment is identical however map tasks
-            # interleave on the worker pool.
-            side, inner = split.payload
-            local_i = 0
-            if side == "L":
-                for values in left_reader(inner, ctx):
-                    key = tuple(k(values) for k in left_keys)
-                    if any(k is None for k in key):
-                        if kind in ("left", "full"):
-                            yield (("\x00null", ctx.task_index, local_i),
-                                   ("L", values))
-                            local_i += 1
-                        continue
-                    yield key, ("L", values)
-            else:
-                for values in right_reader(inner, ctx):
-                    key = tuple(k(values) for k in right_keys)
-                    if any(k is None for k in key):
-                        if kind in ("right", "full"):
-                            yield (("\x00null", ctx.task_index, local_i),
-                                   ("R", values))
-                            local_i += 1
-                        continue
-                    yield key, ("R", values)
+        if self.engine == "vectorized":
+            sides = {
+                "L": (left.make_batch_reader(self.batch_rows),
+                      [compile_batch(l, left_env) for l, _ in equi],
+                      kind in ("left", "full")),
+                "R": (right.make_batch_reader(self.batch_rows),
+                      [compile_batch(r, right_env) for _, r in equi],
+                      kind in ("right", "full")),
+            }
+
+            def map_fn(split, ctx):
+                # Same NULL-key sentinel scheme as the row path below:
+                # (task_index, local_i) in reader order, so both engines
+                # and any pool width assign identical sentinels.
+                side, inner = split.payload
+                reader, key_bexprs, outer = sides[side]
+                local_i = 0
+                for batch in reader(inner, ctx):
+                    key_cols = [fn(batch.columns, batch.length)
+                                for fn in key_bexprs]
+                    for i, values in enumerate(batch.rows()):
+                        key = tuple(kc[i] for kc in key_cols)
+                        if any(k is None for k in key):
+                            if outer:
+                                yield (("\x00null", ctx.task_index, local_i),
+                                       (side, values))
+                                local_i += 1
+                            continue
+                        yield key, (side, values)
+        else:
+            left_reader = left.make_reader()
+            right_reader = right.make_reader()
+
+            def map_fn(split, ctx):
+                # NULL-key sentinels are unique per row so null keys never
+                # group; keyed by (task_index, local_i) — not a shared
+                # counter — so key assignment is identical however map
+                # tasks interleave on the worker pool.
+                side, inner = split.payload
+                local_i = 0
+                if side == "L":
+                    for values in left_reader(inner, ctx):
+                        key = tuple(k(values) for k in left_keys)
+                        if any(k is None for k in key):
+                            if kind in ("left", "full"):
+                                yield (("\x00null", ctx.task_index, local_i),
+                                       ("L", values))
+                                local_i += 1
+                            continue
+                        yield key, ("L", values)
+                else:
+                    for values in right_reader(inner, ctx):
+                        key = tuple(k(values) for k in right_keys)
+                        if any(k is None for k in key):
+                            if kind in ("right", "full"):
+                                yield (("\x00null", ctx.task_index, local_i),
+                                       ("R", values))
+                                local_i += 1
+                            continue
+                        yield key, ("R", values)
 
         def reduce_fn(key, tagged, ctx):
             lefts = [v for tag, v in tagged if tag == "L"]
@@ -556,13 +637,23 @@ class SelectExecutor:
             rows = [tuple(fn(r) for fn in compiled) for r in relation.rows]
             self.cluster.charge_cpu_rows(len(relation.rows))
             return names, rows
-        reader = relation.make_reader()
+        if self.engine == "vectorized":
+            bexprs = [compile_batch(item.expr, relation.env)
+                      for item in items]
+            reader = relation.make_batch_reader(self.batch_rows)
 
-        def map_fn(split, ctx):
-            for values in reader(split, ctx):
-                yield tuple(fn(values) for fn in compiled)
+            def map_fn(split, ctx):
+                for batch in reader(split, ctx):
+                    cols = [fn(batch.columns, batch.length) for fn in bexprs]
+                    yield from zip(*cols)
+        else:
+            reader = relation.make_reader()
 
-        job = Job(name="select-scan", splits=relation.splits(),
+            def map_fn(split, ctx):
+                for values in reader(split, ctx):
+                    yield tuple(fn(values) for fn in compiled)
+
+        job = Job(name="select-scan", splits=self._splits(relation),
                   map_fn=map_fn, reduce_fn=None)
         result = self.runner.run(job)
         self.jobs.append(result)
@@ -591,21 +682,26 @@ class SelectExecutor:
             specs.append(AggregateSpec(call.name, arg_fn,
                                        distinct=call.distinct,
                                        count_star=star))
-        reader = relation.make_reader()
+        if self.engine == "vectorized":
+            map_fn = self._vectorized_agg_map(relation, group_by, agg_calls,
+                                              specs)
+        else:
+            reader = relation.make_reader()
 
-        def map_fn(split, ctx):
-            # Hash aggregation in the mapper (Hive map-side aggregation).
-            table = {}
-            for values in reader(split, ctx):
-                key = tuple(fn(values) for fn in key_fns)
-                accs = table.get(key)
-                if accs is None:
-                    accs = [spec.init() for spec in specs]
-                    table[key] = accs
-                for i, spec in enumerate(specs):
-                    accs[i] = spec.add(accs[i], values)
-            for key, accs in table.items():
-                yield key, accs
+            def map_fn(split, ctx):
+                # Hash aggregation in the mapper (Hive map-side
+                # aggregation).
+                table = {}
+                for values in reader(split, ctx):
+                    key = tuple(fn(values) for fn in key_fns)
+                    accs = table.get(key)
+                    if accs is None:
+                        accs = [spec.init() for spec in specs]
+                        table[key] = accs
+                    for i, spec in enumerate(specs):
+                        accs[i] = spec.add(accs[i], values)
+                for key, accs in table.items():
+                    yield key, accs
 
         def reduce_fn(key, acc_lists, ctx):
             merged = None
@@ -618,8 +714,8 @@ class SelectExecutor:
             finals = [spec.finalize(m) for spec, m in zip(specs, merged)]
             yield tuple(key) + tuple(finals)
 
-        job = Job(name="groupby", splits=relation.splits(), map_fn=map_fn,
-                  reduce_fn=reduce_fn,
+        job = Job(name="groupby", splits=self._splits(relation),
+                  map_fn=map_fn, reduce_fn=reduce_fn,
                   num_reducers=self.cluster.profile.total_reduce_slots)
         result = self.runner.run(job)
         self.jobs.append(result)
@@ -643,6 +739,57 @@ class SelectExecutor:
         self.cluster.charge_cpu_rows(len(result.outputs))
         return names, rows
 
+    def _vectorized_agg_map(self, relation, group_by, agg_calls, specs):
+        """Map-side hash aggregation consuming ColumnBatches.
+
+        Keys and aggregate arguments are evaluated column-at-a-time;
+        accumulators fold pre-evaluated values via ``add_value``.  The
+        global-aggregate case (no GROUP BY) folds whole columns without
+        building any per-row key tuples.
+        """
+        input_env = relation.env
+        key_bexprs = [compile_batch(e, input_env) for e in group_by]
+        arg_bexprs = [None if spec.count_star
+                      else compile_batch(call.args[0], input_env)
+                      for call, spec in zip(agg_calls, specs)]
+        reader = relation.make_batch_reader(self.batch_rows)
+
+        def map_fn(split, ctx):
+            table = {}
+            for batch in reader(split, ctx):
+                cols, n = batch.columns, batch.length
+                key_cols = [fn(cols, n) for fn in key_bexprs]
+                arg_cols = [None if fn is None else fn(cols, n)
+                            for fn in arg_bexprs]
+                if not key_cols:
+                    accs = table.get(())
+                    if accs is None:
+                        accs = table[()] = [spec.init() for spec in specs]
+                    for j, spec in enumerate(specs):
+                        col = arg_cols[j]
+                        acc = accs[j]
+                        add_value = spec.add_value
+                        if col is None:
+                            for _ in range(n):
+                                acc = add_value(acc, 1)
+                        else:
+                            for value in col:
+                                acc = add_value(acc, value)
+                        accs[j] = acc
+                    continue
+                for i in range(n):
+                    key = tuple(kc[i] for kc in key_cols)
+                    accs = table.get(key)
+                    if accs is None:
+                        accs = table[key] = [spec.init() for spec in specs]
+                    for j, spec in enumerate(specs):
+                        col = arg_cols[j]
+                        accs[j] = spec.add_value(
+                            accs[j], 1 if col is None else col[i])
+            for key, accs in table.items():
+                yield key, accs
+        return map_fn
+
     def _order_and_limit(self, stmt, names, rows):
         if stmt.order_by:
             env = Env()
@@ -659,8 +806,17 @@ class SelectExecutor:
                 return tuple(_NullsLast(fn(row) if fn else None, desc)
                              for fn, desc in key_fns)
 
-            rows = sorted(rows, key=sort_key)
             self.cluster.charge_cpu_rows(len(rows))
+            limit = stmt.limit
+            if limit is not None and 0 <= limit < len(rows):
+                # Top-k heap instead of a full sort.  heapq.nsmallest
+                # decorates with (key, input_index), so ties resolve in
+                # input order — exactly the stable full sort's prefix.
+                # Simulated cost is charged on the input rows either
+                # way; the heap is a wall-clock-only win.
+                rows = heapq.nsmallest(limit, rows, key=sort_key)
+            else:
+                rows = sorted(rows, key=sort_key)
         if stmt.limit is not None:
             rows = rows[:stmt.limit]
         return rows

@@ -13,6 +13,8 @@ UPDATE/DELETE dispatch (the heart of the paper):
   for ACID).
 """
 
+import os
+
 from dataclasses import dataclass, field
 
 from repro.cluster import Cluster, ClusterProfile
@@ -29,10 +31,16 @@ from repro.hive.pushdown import extract_ranges
 from repro.hive.storage.hbase_handler import HBaseTableHandler
 from repro.hive.storage.orc_handler import OrcHdfsHandler
 from repro.hive.storage.partitioned_orc import PartitionedOrcHandler
+from repro.vector import DEFAULT_BATCH_ROWS
 
 register_handler("orc", OrcHdfsHandler)
 register_handler("orc-partitioned", PartitionedOrcHandler)
 register_handler("hbase", HBaseTableHandler)
+
+#: Execution engines: identical simulated charges, metrics and results;
+#: the vectorized engine only changes wall-clock speed (INTERNALS §8).
+ENGINES = ("row", "vectorized")
+DEFAULT_ENGINE = "vectorized"
 
 
 @dataclass
@@ -59,8 +67,15 @@ class QueryResult:
 class HiveSession:
     """One connection to the simulated warehouse."""
 
-    def __init__(self, cluster=None, profile=None):
+    def __init__(self, cluster=None, profile=None, engine=None,
+                 batch_rows=None):
         self.cluster = cluster or Cluster(profile or ClusterProfile.laptop())
+        self.set_engine(engine or os.environ.get("REPRO_ENGINE")
+                        or DEFAULT_ENGINE)
+        self.set_batch_rows(batch_rows
+                            if batch_rows is not None
+                            else os.environ.get("REPRO_BATCH_ROWS")
+                            or DEFAULT_BATCH_ROWS)
         self.fs = HdfsFileSystem(self.cluster)
         self.hbase = HBaseService(self.cluster)
         self.runner = JobRunner(self.cluster)
@@ -96,6 +111,35 @@ class HiveSession:
         # keeps `HiveSession` self-contained for users.
         from repro.core import handler as _dualtable_handler  # noqa: F401
         from repro.acid import handler as _acid_handler       # noqa: F401
+
+    # ------------------------------------------------------------------
+    # Engine configuration (wall-clock-only knobs).
+    # ------------------------------------------------------------------
+    def set_engine(self, engine):
+        """Select ``"row"`` or ``"vectorized"`` execution.
+
+        Both engines produce byte-identical results, simulated charges
+        and metric values; the choice affects wall-clock speed only.
+        Also settable per process via ``REPRO_ENGINE``.
+        """
+        engine = str(engine).lower()
+        if engine not in ENGINES:
+            raise ValueError("unknown engine %r (choose from %s)"
+                             % (engine, "/".join(ENGINES)))
+        self.engine = engine
+        return self
+
+    def set_batch_rows(self, batch_rows):
+        """Set the shared split/batch granularity (bounds-validated).
+
+        One knob governs MaterializedSource split chunking and
+        ColumnBatch sizing (a materialized split is exactly one batch).
+        Changing it changes task counts — and therefore simulated
+        time — identically under either engine.
+        """
+        from repro.vector import validate_batch_rows
+        self.batch_rows = validate_batch_rows(batch_rows)
+        return self
 
     # ------------------------------------------------------------------
     # Public API.

@@ -63,6 +63,27 @@ class StorageHandler(ABC):
     def read_split(self, split, ctx):
         """Yield row tuples (in projection order) for one split."""
 
+    def read_split_batches(self, split, ctx, batch_rows=None):
+        """Yield :class:`~repro.vector.ColumnBatch` objects for one split.
+
+        Columnar sibling of :meth:`read_split` with identical charges
+        and row content — only the container differs.  This default
+        buffers the row iterator into batches; handlers with a native
+        columnar path (ORC-backed storage) override it to hand out
+        decoded stripe columns directly.
+        """
+        from repro.vector import DEFAULT_BATCH_ROWS, batch_from_rows
+
+        batch_rows = batch_rows or DEFAULT_BATCH_ROWS
+        buffer = []
+        for values in self.read_split(split, ctx):
+            buffer.append(values)
+            if len(buffer) >= batch_rows:
+                yield batch_from_rows(buffer, len(buffer[0]))
+                buffer = []
+        if buffer:
+            yield batch_from_rows(buffer, len(buffer[0]))
+
     # ------------------------------------------------------------------
     # Statistics.
     # ------------------------------------------------------------------

@@ -110,6 +110,16 @@ class OrcHdfsHandler(StorageHandler):
                                      stripe_filter=stripe_filter):
             yield values
 
+    def read_split_batches(self, split, ctx, batch_rows=None):
+        """Native columnar read: decoded stripe columns, zero-copy."""
+        payload = split.payload
+        reader = self._reader(payload["path"])
+        stripe_filter = make_stripe_filter(
+            [n for n, _ in reader.schema], payload["ranges"] or {})
+        yield from reader.batches(projection=payload["projection"],
+                                  stripe_filter=stripe_filter,
+                                  batch_rows=batch_rows)
+
     def _reader(self, path):
         return OrcReader(self.fs, path)
 

@@ -261,6 +261,44 @@ class PartitionedOrcHandler(StorageHandler):
             yield tuple(values[idx] if kind == "data" else idx
                         for kind, idx in positions)
 
+    def read_split_batches(self, split, ctx, batch_rows=None):
+        """Columnar read; partition columns become constant columns."""
+        from repro.vector import ColumnBatch
+
+        payload = split.payload
+        reader = OrcReader(self.fs, payload["path"])
+        ranges = {name: r for name, r in (payload["ranges"] or {}).items()
+                  if name not in self.partition_columns}
+        stripe_filter = make_stripe_filter(
+            [n for n, _ in reader.schema], ranges)
+        projection = payload["projection"]
+        key = payload["key"]
+        part_values = dict(zip(self.partition_columns, key))
+        if projection is None:
+            for batch in reader.batches(stripe_filter=stripe_filter,
+                                        batch_rows=batch_rows):
+                columns = list(batch.columns) + [[value] * batch.length
+                                                 for value in key]
+                yield ColumnBatch(columns, batch.length,
+                                  row_base=batch.row_base)
+            return
+        data_projection = payload["data_projection"]
+        orc_projection = data_projection or [self._data_schema()[0].name]
+        positions = []
+        for name in projection:
+            lname = name.lower()
+            if lname in part_values:
+                positions.append(("part", part_values[lname]))
+            else:
+                positions.append(("data", orc_projection.index(name)))
+        for batch in reader.batches(projection=orc_projection,
+                                    stripe_filter=stripe_filter,
+                                    batch_rows=batch_rows):
+            columns = [batch.columns[idx] if kind == "data"
+                       else [idx] * batch.length
+                       for kind, idx in positions]
+            yield ColumnBatch(columns, batch.length, row_base=batch.row_base)
+
     # ------------------------------------------------------------------
     # Statistics.
     # ------------------------------------------------------------------
