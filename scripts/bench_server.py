@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Concurrent-server driver: 1000 open-loop clients + determinism gate.
+
+Runs the seeded ledger workload (commutative ``v = v + d`` updates, so
+the final ``SUM(v)`` depends only on the committed set) once per
+concurrency level and gates on the server's two robustness bars:
+
+* **determinism** — every concurrency level must produce the identical
+  final ledger total (same seed ⇒ same committed set, regardless of how
+  statements interleave);
+* **zero lost / phantom writes** — the final total must equal the
+  initial total plus exactly the deltas of the statements the server
+  reported committed, at every level and optionally under chaos.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_server.py [--quick]
+        [--clients 1000] [--statements 400] [--accounts 64]
+        [--concurrency 1,4,16] [--seed 42] [--chaos N]
+        [--out BENCH_server.json]
+
+``--chaos N`` additionally runs N seeded concurrent chaos schedules
+(session kills + injected faults) and fails on any invariant violation.
+Exits non-zero if any gate fails.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.server import build_ledger_server, ledger_arrivals, run_open_loop
+
+
+def run_level(args, concurrency):
+    server = build_ledger_server(accounts=args.accounts, seed=args.seed,
+                                 concurrency=concurrency)
+    arrivals = ledger_arrivals(server, clients=args.clients,
+                               statements=args.statements,
+                               accounts=args.accounts, seed=args.seed)
+    start = time.perf_counter()
+    summary = run_open_loop(server, arrivals)
+    summary["concurrency"] = concurrency
+    summary["wall_s"] = round(time.perf_counter() - start, 3)
+    return summary
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="concurrent server determinism benchmark")
+    parser.add_argument("--clients", type=int, default=1000)
+    parser.add_argument("--statements", type=int, default=400)
+    parser.add_argument("--accounts", type=int, default=64)
+    parser.add_argument("--concurrency", default="1,4,16",
+                        help="comma-separated concurrency levels")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--chaos", type=int, default=0,
+                        help="also run N concurrent chaos schedules")
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke")
+    parser.add_argument("--out", default="BENCH_server.json")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.clients = min(args.clients, 200)
+        args.statements = min(args.statements, 120)
+        args.accounts = min(args.accounts, 32)
+    levels = [int(c) for c in args.concurrency.split(",") if c.strip()]
+
+    report = {"config": vars(args).copy(), "levels": [], "chaos": []}
+    failures = []
+    totals = {}
+    for concurrency in levels:
+        summary = run_level(args, concurrency)
+        report["levels"].append(summary)
+        totals[concurrency] = summary["final_total"]
+        print("concurrency %2d: total=%d committed=%d conflicts=%d "
+              "retries=%d escalations=%d p95=%.3fs wall=%.2fs"
+              % (concurrency, summary["final_total"],
+                 summary["by_status"].get("committed", 0),
+                 summary["conflicts"], summary["conflict_retries"],
+                 summary["escalations"], summary["latency_p95_s"],
+                 summary["wall_s"]))
+        if summary["lost_writes"]:
+            failures.append("concurrency %d lost %d write units"
+                            % (concurrency, summary["lost_writes"]))
+        if summary["phantom_writes"]:
+            failures.append("concurrency %d leaked %d write units"
+                            % (concurrency, summary["phantom_writes"]))
+    if len(set(totals.values())) > 1:
+        failures.append("ledger totals diverge across concurrency: %r"
+                        % totals)
+    else:
+        print("ledger totals byte-identical across %r: %d"
+              % (levels, next(iter(totals.values()))))
+
+    if args.chaos:
+        from repro.faults.chaos import run_server_chaos_schedule
+        for seed in range(args.chaos):
+            try:
+                summary = run_server_chaos_schedule(args.seed + seed)
+                report["chaos"].append(summary)
+                print("chaos seed %d: %r fired=%r"
+                      % (args.seed + seed, summary["by_status"],
+                         summary["fired"]))
+            except AssertionError as exc:
+                failures.append("chaos seed %d: %s"
+                                % (args.seed + seed, exc))
+
+    report["failures"] = failures
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, default=str)
+    print("wrote %s" % args.out)
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

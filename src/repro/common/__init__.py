@@ -1,4 +1,4 @@
-"""Shared helpers: units, errors, deterministic RNG utilities."""
+"""Shared helpers: units, errors, retry policy, deterministic RNG."""
 
 from repro.common.errors import (
     ReproError,
@@ -11,7 +11,13 @@ from repro.common.errors import (
     FaultError,
     FaultInjectedError,
     RecoveryError,
+    ServerError,
+    ServerOverloaded,
+    StatementTimeout,
+    TxnConflictError,
+    SessionKilledError,
 )
+from repro.common.retry import RetryPolicy
 from repro.common.units import KB, MB, GB, fmt_bytes, fmt_seconds
 
 __all__ = [
@@ -25,6 +31,12 @@ __all__ = [
     "FaultError",
     "FaultInjectedError",
     "RecoveryError",
+    "ServerError",
+    "ServerOverloaded",
+    "StatementTimeout",
+    "TxnConflictError",
+    "SessionKilledError",
+    "RetryPolicy",
     "KB",
     "MB",
     "GB",

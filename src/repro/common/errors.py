@@ -108,3 +108,38 @@ class DualTableError(ReproError):
 
 class CompactionInProgressError(DualTableError):
     """Operations are blocked while COMPACT is running."""
+
+
+class ServerError(ReproError):
+    """Raised by the concurrent multi-session server (repro.server)."""
+
+
+class ServerOverloaded(ServerError):
+    """Typed load-shed rejection: the admission queue is full.
+
+    Raised instead of queueing without bound; clients may retry later.
+    """
+
+
+class StatementTimeout(ServerError):
+    """A statement exceeded its per-statement timeout (queue + retries)."""
+
+
+class TxnConflictError(ServerError):
+    """First-committer-wins: a concurrent commit overlapped this
+    transaction's write set (or rewrote a table it touched).
+
+    ``escalation`` marks the variant raised when a statement needs
+    table-exclusive execution (an OVERWRITE-plan rewrite) while other
+    statements are in flight on the table — the server retries it as an
+    exclusive statement.
+    """
+
+    def __init__(self, message, escalation=False):
+        super().__init__(message)
+        self.escalation = escalation
+
+
+class SessionKilledError(ServerError):
+    """The server session was killed while the statement was queued or
+    in flight; nothing the statement buffered was published."""

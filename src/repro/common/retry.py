@@ -1,0 +1,67 @@
+"""One seeded retry/backoff policy shared by every retry layer.
+
+Three layers used to carry their own ad-hoc backoff arithmetic: the
+MapReduce task-attempt loop, the statement-level commit retries in
+:mod:`repro.core.editlog`, and (new with the server) optimistic
+transaction conflict retries.  They now share one :class:`RetryPolicy`:
+
+* ``max_attempts`` — total tries including the first;
+* exponential backoff: ``backoff_s * factor ** (attempt - 1)``;
+* optional *deterministic* jitter: a ``jitter`` fraction of the step,
+  drawn from :func:`repro.common.rng.make_rng` seeded with the policy
+  seed, the caller's key and the attempt number — the same (seed, key,
+  attempt) triple always yields the same backoff, so seeded experiments
+  reproduce byte-for-byte while concurrent retries still decorrelate.
+
+The MapReduce/commit layers use ``jitter=0.0`` (their charged backoff
+sequence is asserted by the tier-1 suite); the server's conflict retries
+use a jittered policy so colliding sessions don't re-collide in
+lockstep.
+"""
+
+from repro.common.rng import make_rng
+
+
+class RetryPolicy:
+    """Seeded exponential backoff with deterministic jitter."""
+
+    __slots__ = ("max_attempts", "backoff_s", "factor", "jitter", "seed")
+
+    def __init__(self, max_attempts=4, backoff_s=1.0, factor=2.0,
+                 jitter=0.0, seed=0):
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff_s = float(backoff_s)
+        self.factor = float(factor)
+        self.jitter = float(jitter)
+        self.seed = seed
+
+    @classmethod
+    def from_profile(cls, profile):
+        """The task/commit retry policy a cluster profile implies.
+
+        Jitter-free, so it charges exactly the classic
+        ``retry_backoff_s * 2**(attempt-1)`` sequence.
+        """
+        return cls(max_attempts=profile.max_task_attempts,
+                   backoff_s=profile.retry_backoff_s,
+                   factor=2.0, jitter=0.0)
+
+    def attempts(self):
+        """Attempt numbers, 1-based: ``1, 2, ..., max_attempts``."""
+        return range(1, self.max_attempts + 1)
+
+    def is_last(self, attempt):
+        return attempt >= self.max_attempts
+
+    def backoff(self, attempt, key=None):
+        """Backoff seconds to wait *after* a failed ``attempt``."""
+        step = self.backoff_s * (self.factor ** (attempt - 1))
+        if self.jitter <= 0.0:
+            return step
+        rng = make_rng("retry-jitter", self.seed, key, attempt)
+        return step * (1.0 + self.jitter * rng.random())
+
+    def __repr__(self):
+        return ("RetryPolicy(max_attempts=%d, backoff_s=%g, factor=%g, "
+                "jitter=%g)" % (self.max_attempts, self.backoff_s,
+                                self.factor, self.jitter))

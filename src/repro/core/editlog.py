@@ -133,6 +133,10 @@ class EditBatch:
                        for edit in self._by_task[index]]
             return ordered + list(self._loose)
 
+    def write_keys(self):
+        """The record IDs this statement writes (the SI write set)."""
+        return {record_id for _, record_id, _ in self.edits}
+
     # ------------------------------------------------------------------
     def commit(self, session):
         """Stage + publish; returns the statement-level commit seconds.
@@ -174,19 +178,22 @@ def run_with_retries(session, fn, label):
     Mirrors the MapReduce task-attempt loop for statement-level commit
     work that runs outside any job: retryable injected faults back off
     (charged to the ledger) and rerun ``fn`` — which must be idempotent —
-    while fatal kills and real bugs propagate immediately.
+    while fatal kills and real bugs propagate immediately.  Uses the
+    same jitter-free :class:`~repro.common.retry.RetryPolicy` as the
+    task layer, so the charged backoff sequence is identical.
     """
+    from repro.common.retry import RetryPolicy
+
     cluster = session.cluster
-    profile = cluster.profile
-    max_attempts = max(1, profile.max_task_attempts)
+    policy = RetryPolicy.from_profile(cluster.profile)
     total = 0.0
-    for attempt in range(1, max_attempts + 1):
+    for attempt in policy.attempts():
         try:
             return total + session._charged_parallel(fn)
         except FaultInjectedError as exc:
-            if exc.fatal or attempt == max_attempts:
+            if exc.fatal or policy.is_last(attempt):
                 raise
-            backoff = profile.retry_backoff_s * (2.0 ** (attempt - 1))
+            backoff = policy.backoff(attempt, key=label)
             cluster.charge_fixed("mapreduce", "retry_backoff", backoff)
             total += backoff
     raise AssertionError("unreachable: final attempt raises")

@@ -440,6 +440,7 @@ class DualTableHandler(StorageHandler):
         detail = self._detail(choice, plan)
         self.metadata.record_ratio(self.table.name, ratio)
         self._note_plan_choice(plan, choice)
+        self._claim_txn_access(session, plan)
         if plan == "overwrite":
             info = session.metastore.table(self.table.name)
             result = session.update_via_overwrite(info, stmt,
@@ -465,6 +466,7 @@ class DualTableHandler(StorageHandler):
         detail = self._detail(choice, plan)
         self.metadata.record_ratio(self.table.name, ratio)
         self._note_plan_choice(plan, choice)
+        self._claim_txn_access(session, plan)
         if plan == "overwrite":
             info = session.metastore.table(self.table.name)
             result = session.delete_via_overwrite(info, stmt,
@@ -473,6 +475,23 @@ class DualTableHandler(StorageHandler):
             result = self._edit_delete(session, stmt, detail)
         self._audit_cost_model(choice, plan, result)
         return result
+
+    def _claim_txn_access(self, session, plan):
+        """Declare this DML's isolation needs to the server transaction.
+
+        Under a server (:mod:`repro.server`), an OVERWRITE plan rewrites
+        master files in place, which is only snapshot-safe with the
+        table to itself — ``require_exclusive`` either escalates the
+        transaction or aborts it for an exclusive re-run.  An EDIT plan
+        just records the write so conflict detection sees the table.
+        """
+        txn = getattr(session, "current_txn", None)
+        if txn is None:
+            return
+        if plan == "overwrite":
+            txn.require_exclusive(self.table.name)
+        else:
+            txn.touch(self.table.name, write=True)
 
     @staticmethod
     def _annotate_choice(span, choice, plan):
@@ -567,9 +586,7 @@ class DualTableHandler(StorageHandler):
         job = Job(name="update-edit", splits=splits, map_fn=map_fn,
                   reduce_fn=None)
         result = session.runner.run(job)
-        with self.env.cluster.tracer.span("phase", "dualtable:edit-commit",
-                                          table=self.table.name):
-            commit_seconds = batch.commit(session)
+        commit_seconds = self._commit_or_defer(session, batch)
         self.note_attached_bytes()
         jobs = session._dml_subquery_jobs + [result]
         sub = sum(j.sim_seconds for j in session._dml_subquery_jobs)
@@ -604,9 +621,7 @@ class DualTableHandler(StorageHandler):
         job = Job(name="delete-edit", splits=splits, map_fn=map_fn,
                   reduce_fn=None)
         result = session.runner.run(job)
-        with self.env.cluster.tracer.span("phase", "dualtable:edit-commit",
-                                          table=self.table.name):
-            commit_seconds = batch.commit(session)
+        commit_seconds = self._commit_or_defer(session, batch)
         self.note_attached_bytes()
         jobs = session._dml_subquery_jobs + [result]
         sub = sum(j.sim_seconds for j in session._dml_subquery_jobs)
@@ -614,6 +629,24 @@ class DualTableHandler(StorageHandler):
             sim_seconds=sub + result.sim_seconds + commit_seconds,
             jobs=jobs, affected=result.counters.get("deleted", 0),
             plan="delete-edit", detail=detail)
+
+    def _commit_or_defer(self, session, batch):
+        """Commit the EditBatch now, or buffer it in the server txn.
+
+        Under an *optimistic* server transaction nothing durable may
+        happen before the transaction's commit point (a killed or
+        conflicted statement must leave zero trace), so stage + publish
+        are deferred to :meth:`StatementTxn.publish`.  Standalone
+        sessions and exclusive transactions commit immediately, exactly
+        as before the server existed.
+        """
+        txn = getattr(session, "current_txn", None)
+        if txn is not None and not txn.exclusive:
+            txn.defer_edit_batch(self.table.name, batch, session)
+            return 0.0
+        with self.env.cluster.tracer.span("phase", "dualtable:edit-commit",
+                                          table=self.table.name):
+            return batch.commit(session)
 
     # ------------------------------------------------------------------
     # COMPACT (Section III-C): fold the Attached Table into the Master.

@@ -109,6 +109,93 @@ def table_state(session):
     return files, rows, attached
 
 
+#: injection points armed for *concurrent* chaos.  Deliberately a
+#: separate tuple (not an extension of POINT_KINDS): the serial
+#: schedules above draw points via ``rng.choice`` over POINT_KINDS, so
+#: growing that dict would silently reshuffle every existing seed.
+SERVER_CHAOS_POINTS = (
+    "mapreduce.map",
+    "hbase.put",
+    "hdfs.write_block",
+    "dualtable.dml.stage",
+    "dualtable.dml.publish",
+)
+
+
+def run_server_chaos_schedule(seed, statements=40, clients=8, accounts=12,
+                              concurrency=4):
+    """One seeded *concurrent* chaos experiment; returns a summary dict.
+
+    Derives from the seed: an open-loop ledger schedule over ``clients``
+    sessions, 1–3 session kills landing mid-flight, and a random fault
+    plan over :data:`SERVER_CHAOS_POINTS` (task crashes, region-server
+    crashes, datanode losses, mid-stage and mid-publish kills).  Then
+    asserts the server's robustness bar:
+
+    * **zero lost writes** — every statement the server reported
+      committed is present in the final ``SUM(v)``;
+    * **zero phantom writes** — no aborted/killed statement leaked
+      edits;
+    * **no orphaned transaction state** — the redo-log directory and
+      COMPACT 2PC paths are empty once the run settles;
+    * **recover() is idempotent** — running recovery twice more changes
+      nothing.
+
+    Any failure reproduces from the seed alone.
+    """
+    # Imported lazily: repro.server imports the Hive stack, and this
+    # module is also used by lightweight fault-injection tests.
+    from repro.server.driver import (build_ledger_server, ledger_arrivals,
+                                     ledger_totals, run_open_loop)
+
+    rng = make_rng("server-chaos", seed)
+    server = build_ledger_server(accounts=accounts, seed=seed,
+                                 concurrency=concurrency)
+    arrivals = ledger_arrivals(server, clients=clients,
+                               statements=statements, accounts=accounts,
+                               seed=seed)
+    kills = []
+    for _ in range(rng.randint(1, 3)):
+        anchor = arrivals[rng.randrange(len(arrivals))]
+        kills.append((anchor.time + rng.random() * 0.5,
+                      anchor.session.id))
+    plan = FaultPlan.random(rng, max_faults=3, max_hit=8,
+                            points=SERVER_CHAOS_POINTS)
+    faults = server.cluster.faults
+    faults.install(plan)
+    try:
+        summary = run_open_loop(server, arrivals, kills=kills)
+    finally:
+        fired = [(f.point, f.kind) for f, _ in faults.fired]
+        faults.uninstall()
+    summary["seed"] = seed
+    summary["kills"] = len(kills)
+    summary["fired"] = fired
+    assert summary["lost_writes"] == 0, (
+        "seed %r lost %d committed write units"
+        % (seed, summary["lost_writes"]))
+    assert summary["phantom_writes"] == 0, (
+        "seed %r leaked %d uncommitted write units"
+        % (seed, summary["phantom_writes"]))
+    handler = server.engine.table("ledger").handler
+    fs = server.engine.fs
+    staged = (list(fs.list_files(handler.txn_dir))
+              if fs.exists(handler.txn_dir) else [])
+    assert not staged, "seed %r left orphaned redo logs: %r" % (seed, staged)
+    for path in (handler._manifest_path, handler._compact_tmp,
+                 handler._compact_old):
+        assert not fs.exists(path), (
+            "seed %r left orphaned COMPACT state at %s" % (seed, path))
+    total_once, _ = ledger_totals(server.engine)
+    handler.recover()
+    total_twice, _ = ledger_totals(server.engine)
+    handler.recover()
+    total_thrice, _ = ledger_totals(server.engine)
+    assert total_once == total_twice == total_thrice, (
+        "recover() is not idempotent for seed %r" % seed)
+    return summary
+
+
 def run_chaos_schedule(seed, n_statements=6, num_rows=48):
     """Run one seeded schedule end-to-end; returns a summary dict.
 

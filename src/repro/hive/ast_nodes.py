@@ -271,6 +271,16 @@ class ShowMetricsStmt(Statement):
 
 
 @dataclass
+class ShowSessionsStmt(Statement):
+    """``SHOW SESSIONS``: live server sessions (repro.server)."""
+
+
+@dataclass
+class ShowServerStatsStmt(Statement):
+    """``SHOW SERVER STATS``: admission/commit/conflict counters."""
+
+
+@dataclass
 class ExplainStmt(Statement):
     statement: Statement = None
     #: EXPLAIN ANALYZE: execute the statement and annotate the plan with

@@ -139,6 +139,17 @@ class Parser:
             if token.kind == "ident" and token.value.lower() == "compactions":
                 self.advance()
                 return ast.ShowCompactionsStmt()
+            if token.kind == "ident" and token.value.lower() == "sessions":
+                self.advance()
+                return ast.ShowSessionsStmt()
+            if token.kind == "ident" and token.value.lower() == "server":
+                self.advance()
+                stats = self.peek()
+                if stats.kind == "ident" and stats.value.lower() == "stats":
+                    self.advance()
+                    return ast.ShowServerStatsStmt()
+                raise ParseError("expected STATS after SHOW SERVER",
+                                 stats.pos)
             self.expect_kw("tables")
             return ast.ShowTablesStmt()
         if self.check_kw("describe"):

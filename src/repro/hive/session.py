@@ -84,6 +84,15 @@ class HiveSession:
         self.views = {}
         self._dml_subquery_jobs = []
         self._stmt_depth = 0
+        # Server attachment (repro.server).  `current_txn` is the
+        # statement transaction the server is running through this
+        # engine — DualTable EDIT commits defer their publish to it;
+        # `txn_guard` lets the maintenance daemon skip tables with
+        # in-flight buffered writes; `server` backs SHOW SESSIONS /
+        # SHOW SERVER STATS.  All stay None for standalone sessions.
+        self.current_txn = None
+        self.txn_guard = None
+        self.server = None
         self._ensure_extended_handlers()
         self._bind_fault_actions()
         # Imported lazily: repro.maintenance returns QueryResults, so a
@@ -202,6 +211,23 @@ class HiveSession:
             return QueryResult(names=["metric", "type", "value"],
                                rows=self.cluster.metrics.rows(),
                                plan="show-metrics")
+        if isinstance(stmt, ast.ShowSessionsStmt):
+            if self.server is None:
+                raise AnalysisError(
+                    "SHOW SESSIONS requires a DualTableServer "
+                    "(this is a standalone session)")
+            return QueryResult(
+                names=["session_id", "tenant", "state", "statements",
+                       "committed", "inflight"],
+                rows=self.server.session_rows(), plan="show-sessions")
+        if isinstance(stmt, ast.ShowServerStatsStmt):
+            if self.server is None:
+                raise AnalysisError(
+                    "SHOW SERVER STATS requires a DualTableServer "
+                    "(this is a standalone session)")
+            return QueryResult(names=["stat", "value"],
+                               rows=self.server.stats_rows(),
+                               plan="show-server-stats")
         if isinstance(stmt, ast.CreateTableStmt):
             return self._create_table(stmt)
         if isinstance(stmt, ast.CreateViewStmt):

@@ -33,7 +33,8 @@ Statements end with ';'. Supported: CREATE TABLE ... [PARTITIONED BY
 (...)] STORED AS {ORC|HBASE|DUALTABLE|ACID}, CREATE VIEW, DROP, INSERT
 [PARTITION (...)], SELECT (joins/group by/subqueries/UNION ALL), UPDATE,
 DELETE, MERGE INTO, COMPACT [PARTIAL [n]], EXPLAIN [ANALYZE], SHOW
-TABLES, SHOW PARTITIONS, SHOW METRICS, SHOW COMPACTIONS, DESCRIBE,
+TABLES, SHOW PARTITIONS, SHOW METRICS, SHOW COMPACTIONS, SHOW SESSIONS,
+SHOW SERVER STATS (the last two need a server front end), DESCRIBE,
 ALTER TABLE ... DROP PARTITION,
 ALTER TABLE t SET AUTOCOMPACT (ON|OFF[, horizon = h, max_files = k]).
 

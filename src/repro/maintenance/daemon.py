@@ -147,6 +147,12 @@ class AutoCompactionDaemon:
         handler = info.handler
         if handler._compacting:
             return      # concurrency guard: a COMPACT is mid-commit
+        guard = getattr(session, "txn_guard", None)
+        if guard is not None and guard(name):
+            # Server transactions hold buffered (unpublished) EditBatches
+            # on this table; compacting now would remap the record IDs
+            # those edits target.  Skip and retry on a later tick.
+            return
         interval = float(options.get("interval", 0.0))
         last = self._last_decision_clock.get(name)
         if last is not None and interval > 0 \

@@ -41,6 +41,7 @@ import heapq
 from collections import defaultdict
 
 from repro.common.errors import FaultInjectedError, TaskFailedError
+from repro.common.retry import RetryPolicy
 from repro.mapreduce.job import (JobResult, TaskContext,
                                  estimate_record_bytes, stable_hash)
 from repro.parallel import in_worker
@@ -159,10 +160,10 @@ class JobRunner:
         retries really happened).
         """
         profile = self.cluster.profile
-        max_attempts = max(1, profile.max_task_attempts)
+        policy = RetryPolicy.from_profile(profile)
         point = "mapreduce.%s" % task_type
         penalty = 0.0
-        for attempt in range(1, max_attempts + 1):
+        for attempt in policy.attempts():
             ctx = TaskContext(self.cluster, task_type, index)
             scope_label = "%s-%d.%d" % (task_type, index, attempt)
             with self.cluster.tracer.span(
@@ -177,10 +178,9 @@ class JobRunner:
                         failed = (scope.parallel_seconds
                                   + profile.task_overhead_s)
                         span.annotate(outcome="failed", error=str(exc))
-                        if _is_fatal(exc) or attempt == max_attempts:
+                        if _is_fatal(exc) or policy.is_last(attempt):
                             raise TaskFailedError(describe(exc)) from exc
-                        backoff = profile.retry_backoff_s \
-                            * (2.0 ** (attempt - 1))
+                        backoff = policy.backoff(attempt)
                         self.cluster.charge_fixed(
                             "mapreduce", "retry_backoff", backoff)
                         penalty += failed + backoff

@@ -10,7 +10,16 @@ retries, WAL replays, COMPACT folds...).
 
 Metric names are dotted paths (``dualtable.plan.edit``,
 ``mapreduce.task_retries``); see docs/INTERNALS.md for the taxonomy.
+
+Thread safety: all uncaptured mutations take a registry-wide lock.  A
+bare ``defaultdict[name] += 1`` is a read-modify-write that loses
+updates under preemption, which showed up once the server admitted many
+sessions against one cluster (the PR-3 join NULL-key sentinel was the
+same class of bug).  The capture path needs no lock — capture buffers
+are thread-local by construction.
 """
+
+import threading
 
 from collections import defaultdict
 
@@ -63,6 +72,7 @@ class MetricsRegistry:
         self.counters = defaultdict(int)
         self.gauges = {}
         self.histograms = {}
+        self._lock = threading.Lock()
         #: optional thread-local capture stack shared with the owning
         #: cluster (repro.parallel): while a recorder is pushed on the
         #: calling thread, events are buffered instead of applied so a
@@ -88,20 +98,26 @@ class MetricsRegistry:
         if buffer is not None:
             buffer.add_event("incr", name, amount)
             return
-        self.counters[name] += amount
+        with self._lock:
+            self.counters[name] += amount
 
     def gauge(self, name, value):
         buffer = self._capture_buffer()
         if buffer is not None:
             buffer.add_event("gauge", name, value)
             return
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def observe(self, name, value):
         buffer = self._capture_buffer()
         if buffer is not None:
             buffer.add_event("observe", name, value)
             return
+        with self._lock:
+            self._observe_locked(name, value)
+
+    def _observe_locked(self, name, value):
         hist = self.histograms.get(name)
         if hist is None:
             hist = self.histograms[name] = Histogram()
@@ -117,13 +133,14 @@ class MetricsRegistry:
         if buffer is not None:
             buffer.events.extend(events)
             return
-        for kind, name, value in events:
-            if kind == "incr":
-                self.counters[name] += value
-            elif kind == "observe":
-                self.observe(name, value)
-            else:
-                self.gauges[name] = value
+        with self._lock:
+            for kind, name, value in events:
+                if kind == "incr":
+                    self.counters[name] += value
+                elif kind == "observe":
+                    self._observe_locked(name, value)
+                else:
+                    self.gauges[name] = value
 
     # ------------------------------------------------------------------
     # Reading.
@@ -136,23 +153,25 @@ class MetricsRegistry:
 
     def snapshot(self):
         """A plain-dict dump (JSON-serializable)."""
-        return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
-            "histograms": {name: h.as_dict()
-                           for name, h in self.histograms.items()},
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {name: h.as_dict()
+                               for name, h in self.histograms.items()},
+            }
 
     def rows(self):
         """``(metric, type, value)`` rows for table rendering."""
-        rows = [(name, "counter", value)
-                for name, value in self.counters.items()]
-        rows += [(name, "gauge", value)
-                 for name, value in self.gauges.items()]
-        rows += [(name, "histogram",
-                  "count=%d mean=%.4g min=%.4g max=%.4g"
-                  % (h.count, h.mean, h.vmin or 0.0, h.vmax or 0.0))
-                 for name, h in self.histograms.items()]
+        with self._lock:
+            rows = [(name, "counter", value)
+                    for name, value in self.counters.items()]
+            rows += [(name, "gauge", value)
+                     for name, value in self.gauges.items()]
+            rows += [(name, "histogram",
+                      "count=%d mean=%.4g min=%.4g max=%.4g"
+                      % (h.count, h.mean, h.vmin or 0.0, h.vmax or 0.0))
+                     for name, h in self.histograms.items()]
         return sorted(rows)
 
     # ------------------------------------------------------------------
@@ -160,16 +179,18 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def merge(self, other):
         """Fold another registry into this one (profile aggregation)."""
-        for name, value in other.counters.items():
-            self.counters[name] += value
-        self.gauges.update(other.gauges)
-        for name, hist in other.histograms.items():
-            mine = self.histograms.get(name)
-            if mine is None:
-                mine = self.histograms[name] = Histogram()
-            mine.merge(hist)
+        with self._lock:
+            for name, value in other.counters.items():
+                self.counters[name] += value
+            self.gauges.update(other.gauges)
+            for name, hist in other.histograms.items():
+                mine = self.histograms.get(name)
+                if mine is None:
+                    mine = self.histograms[name] = Histogram()
+                mine.merge(hist)
 
     def reset(self):
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()

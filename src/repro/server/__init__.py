@@ -1,0 +1,45 @@
+"""repro.server: a concurrent multi-session front end for the warehouse.
+
+The server turns the single-statement engine into a multi-tenant
+service with three robustness layers (docs/INTERNALS.md §10):
+
+* **Snapshot isolation** (:mod:`repro.server.txn`): every statement
+  executes against the commit watermark taken when it is dispatched;
+  EDIT-plan writes are buffered (the PR-1 EditBatch) and published only
+  at commit, after a first-committer-wins conflict check over record-id
+  write sets.  Conflicted statements retry under a seeded, jittered
+  :class:`~repro.common.retry.RetryPolicy` and escalate to
+  table-exclusive execution rather than livelock.
+
+* **Admission control + fair scheduling**
+  (:mod:`repro.server.admission`): a bounded queue with per-tenant
+  deficit-free round-robin, per-statement timeouts, and typed
+  :class:`~repro.common.errors.ServerOverloaded` load-shedding instead
+  of unbounded queueing.
+
+* **Deterministic concurrency** (:class:`DualTableServer.run`): an
+  event-driven open-loop scheduler over simulated time — same seed,
+  same arrivals, same commits at any concurrency — which is what makes
+  the chaos harness's "byte-identical ledger totals at concurrency
+  1/4/16" bar checkable at all.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.driver import (build_ledger_server, ledger_arrivals,
+                                 ledger_totals, run_open_loop)
+from repro.server.server import Arrival, DualTableServer, ServerSession
+from repro.server.txn import CommitLog, CommitRecord, StatementTxn
+
+__all__ = [
+    "AdmissionController",
+    "Arrival",
+    "CommitLog",
+    "CommitRecord",
+    "DualTableServer",
+    "ServerSession",
+    "StatementTxn",
+    "build_ledger_server",
+    "ledger_arrivals",
+    "ledger_totals",
+    "run_open_loop",
+]

@@ -12,9 +12,10 @@ import os
 
 import pytest
 
-from repro.faults.chaos import run_chaos_schedule
+from repro.faults.chaos import run_chaos_schedule, run_server_chaos_schedule
 
 N_SCHEDULES = int(os.environ.get("CHAOS_SCHEDULES", "50"))
+N_SERVER_SCHEDULES = int(os.environ.get("SERVER_CHAOS_SCHEDULES", "12"))
 
 
 @pytest.mark.parametrize("seed", range(N_SCHEDULES))
@@ -40,3 +41,36 @@ def test_chaos_coverage_across_seeds():
     assert fired, "no faults fired across the chaos seed range"
     points = {point for point, _ in fired}
     assert len(points) >= 3, "chaos schedules hit too few injection points"
+
+
+@pytest.mark.parametrize("seed", range(N_SERVER_SCHEDULES))
+def test_server_chaos_schedule_invariants(seed):
+    """Concurrent chaos: kills + faults under a multi-session server.
+
+    All invariants (zero lost/phantom writes, no orphaned txn state,
+    recover() idempotence) are asserted inside the schedule runner;
+    here we only sanity-check the shape of the summary it returns.
+    """
+    summary = run_server_chaos_schedule(seed)
+    assert summary["seed"] == seed
+    assert 1 <= summary["kills"] <= 3
+    assert summary["statements"] == sum(summary["by_status"].values())
+
+
+def test_server_chaos_schedules_are_reproducible():
+    a = run_server_chaos_schedule(5)
+    b = run_server_chaos_schedule(5)
+    assert a["fired"] == b["fired"]
+    assert a["by_status"] == b["by_status"]
+    assert a["final_total"] == b["final_total"]
+
+
+def test_server_chaos_coverage_across_seeds():
+    """The server seed range must fire faults and land kills."""
+    fired, kills = [], 0
+    for seed in range(min(N_SERVER_SCHEDULES, 8)):
+        summary = run_server_chaos_schedule(seed)
+        fired.extend(summary["fired"])
+        kills += summary["by_status"].get("killed", 0)
+    assert fired, "no faults fired across the server chaos seed range"
+    assert kills, "no session kill landed mid-statement across seeds"
