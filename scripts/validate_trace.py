@@ -17,7 +17,8 @@ Usage::
 import argparse
 import sys
 
-from repro.obs.export import load_trace, validate_trace
+from repro.obs.export import (load_trace, validate_server_spans,
+                              validate_trace)
 
 
 def main(argv=None):
@@ -27,6 +28,11 @@ def main(argv=None):
     parser.add_argument("--require", default="",
                         help="comma-separated span kinds that must appear "
                              "at least once (e.g. statement,job,task)")
+    parser.add_argument("--server-spans", action="store_true",
+                        help="additionally validate the PR-6 server "
+                             "statement spans: every server.statement "
+                             "span nests an engine statement span, and "
+                             "at least one has nonzero duration")
     args = parser.parse_args(argv)
     require = tuple(k for k in args.require.split(",") if k)
     failed = False
@@ -38,6 +44,8 @@ def main(argv=None):
             failed = True
             continue
         errors = validate_trace(doc, require_kinds=require)
+        if args.server_spans:
+            errors = errors + validate_server_spans(doc)
         nspans = sum(1 for ev in doc.get("traceEvents", [])
                      if ev.get("ph") == "X")
         if errors:

@@ -1,0 +1,55 @@
+"""repro.advisor: the workload advisor closing the obs loop.
+
+The PR-2 obs stack records; this package *interprets*: per-table
+workload profiles (:mod:`repro.advisor.profiles`) feed a rule-based
+analyzer (:mod:`repro.advisor.analyzer`) that emits typed findings
+with evidence and executable remediations, surfaced through
+``SHOW ADVISOR`` / ``ANALYZE WORKLOAD [APPLY]`` and the telemetry
+dashboard (:mod:`repro.obs.dashboard`).
+"""
+
+from repro.advisor.analyzer import WorkloadAdvisor, apply_findings
+from repro.advisor.findings import FINDING_COLUMNS, SEVERITIES, Finding
+from repro.advisor.profiles import (TableProfile, build_profile,
+                                    build_profiles)
+
+__all__ = ["Finding", "FINDING_COLUMNS", "SEVERITIES", "TableProfile",
+           "WorkloadAdvisor", "advisor_rows", "analyze_workload",
+           "apply_findings", "build_profile", "build_profiles"]
+
+
+def advisor_rows(session):
+    """``SHOW ADVISOR`` rows: current findings, no side effects."""
+    return [finding.row()
+            for finding in WorkloadAdvisor(session).analyze()]
+
+
+def analyze_workload(session, apply=False):
+    """Run the advisor; with ``apply``, execute the remediations too.
+
+    Returns a QueryResult whose rows are the findings and whose detail
+    carries the full finding dicts plus the applied statement list; the
+    remediations' simulated time is charged to this statement.
+    """
+    # Imported lazily: repro.hive.session itself dispatches to us.
+    from repro.hive.session import QueryResult
+
+    metrics = session.cluster.metrics
+    findings = WorkloadAdvisor(session).analyze()
+    metrics.incr("advisor.runs")
+    metrics.incr("advisor.findings", len(findings))
+    applied = []
+    sim_seconds = 0.0
+    if apply:
+        for sql, result in apply_findings(session, findings):
+            applied.append(sql)
+            sim_seconds += result.sim_seconds
+        metrics.incr("advisor.applied", len(applied))
+    return QueryResult(
+        names=list(FINDING_COLUMNS),
+        rows=[finding.row() for finding in findings],
+        sim_seconds=sim_seconds,
+        plan="analyze-workload-apply" if apply else "analyze-workload",
+        affected=len(applied) if apply else None,
+        detail={"findings": [finding.as_dict() for finding in findings],
+                "applied": applied})

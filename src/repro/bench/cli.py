@@ -93,8 +93,9 @@ def main(argv=None):
 
 
 def write_profile(result, trace_doc, metrics, directory):
-    """Write one experiment's trace + metrics snapshot under DIR."""
+    """Write one experiment's trace + metrics snapshot + dashboard."""
     from repro.obs import export
+    from repro.obs.dashboard import metrics_document, write_dashboard
 
     os.makedirs(directory, exist_ok=True)
     trace_path = os.path.join(directory,
@@ -103,13 +104,20 @@ def write_profile(result, trace_doc, metrics, directory):
     nspans = sum(1 for ev in trace_doc["traceEvents"]
                  if ev.get("ph") == "X")
     print("wrote %s (%d spans)" % (trace_path, nspans))
+    snapshot = metrics.snapshot()
     metrics_path = os.path.join(directory,
                                 "%s.metrics.json" % result.experiment)
     with open(metrics_path, "w") as handle:
-        json.dump(metrics.snapshot(), handle, indent=1, sort_keys=True,
+        json.dump(snapshot, handle, indent=1, sort_keys=True,
                   default=str)
         handle.write("\n")
     print("wrote %s" % metrics_path)
+    doc = metrics_document(snapshot, workload=result.experiment)
+    html_path, _ = write_dashboard(
+        directory, doc,
+        html_name="%s.dashboard.html" % result.experiment,
+        json_name="%s.advisor.json" % result.experiment)
+    print("wrote %s" % html_path)
     return trace_path
 
 

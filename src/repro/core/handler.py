@@ -240,8 +240,15 @@ class DualTableHandler(StorageHandler):
                 size_bytes=reader.projected_bytes(projection_list),
                 label=path)
 
-        return parallel_map(self.env.cluster, split_for,
-                            self.master.file_paths())
+        splits = parallel_map(self.env.cluster, split_for,
+                              self.master.file_paths())
+        # Workload-profile hook: per-table scanned-bytes histogram (the
+        # advisor's "bytes read" axis).  Split sizes are control-plane
+        # metadata, identical for any worker count or engine.
+        self.env.cluster.metrics.observe(
+            "dualtable.scan_bytes.%s" % self.table.name,
+            sum(split.size_bytes for split in splits))
+        return splits
 
     def read_split(self, split, ctx):
         for _, values in self.read_split_with_rids(split, ctx):
@@ -318,6 +325,10 @@ class DualTableHandler(StorageHandler):
         metrics.incr("unionread.rows", nrows)
         if stats.get("deltas_applied"):
             metrics.incr("unionread.deltas_applied",
+                         stats["deltas_applied"])
+            # Per-table delta churn: how much merge work reads on this
+            # table keep paying for (advisor read-overhead evidence).
+            metrics.incr("unionread.deltas_applied.%s" % self.table.name,
                          stats["deltas_applied"])
         if stats.get("rows_deleted"):
             metrics.incr("unionread.rows_deleted", stats["rows_deleted"])
@@ -421,6 +432,8 @@ class DualTableHandler(StorageHandler):
     def execute_update(self, session, stmt):
         self._check_not_compacting()
         self._ensure_recovered()
+        self.env.cluster.metrics.incr(
+            "dualtable.updates.%s" % self.table.name)
         with self.env.cluster.tracer.span(
                 "phase", "dualtable:plan", table=self.table.name,
                 dml="update") as span:
@@ -453,6 +466,8 @@ class DualTableHandler(StorageHandler):
     def execute_delete(self, session, stmt):
         self._check_not_compacting()
         self._ensure_recovered()
+        self.env.cluster.metrics.incr(
+            "dualtable.deletes.%s" % self.table.name)
         with self.env.cluster.tracer.span(
                 "phase", "dualtable:plan", table=self.table.name,
                 dml="delete") as span:
@@ -502,10 +517,26 @@ class DualTableHandler(StorageHandler):
 
     def _note_plan_choice(self, plan, choice):
         metrics = self.env.cluster.metrics
+        table = self.table.name
         metrics.incr("dualtable.plan.%s" % plan)
-        metrics.incr("dualtable.dml.%s" % self.table.name)
+        metrics.incr("dualtable.dml.%s" % table)
+        # Workload-profile hooks (repro.advisor): per-table plan mix and
+        # the regret signal — an executed plan whose predicted cost was
+        # higher than the alternative's (only forced modes can regret;
+        # cost mode always takes the cheaper estimate).
+        metrics.incr("dualtable.plan.%s.%s" % (plan, table))
         if self.mode != "cost" and plan != choice.plan:
             metrics.incr("dualtable.plan.forced")
+            metrics.incr("dualtable.plan.forced.%s" % table)
+        if plan == "overwrite" \
+                and choice.edit_seconds < choice.overwrite_seconds:
+            metrics.incr("dualtable.plan.overwrite_regret.%s" % table)
+            metrics.observe(
+                "dualtable.plan.regret_seconds.%s" % table,
+                choice.overwrite_seconds - choice.edit_seconds)
+        elif plan == "edit" \
+                and choice.overwrite_seconds < choice.edit_seconds:
+            metrics.incr("dualtable.plan.edit_regret.%s" % table)
 
     def _audit_cost_model(self, choice, plan, result):
         """Record predicted-vs-observed cost for the chosen plan.
@@ -528,9 +559,22 @@ class DualTableHandler(StorageHandler):
                  "rel_error": rel_error}
         result.detail["audit"] = audit
         cluster = self.env.cluster
+        table = self.table.name
         cluster.metrics.incr("costmodel.audits")
         cluster.metrics.observe("costmodel.rel_error", rel_error)
         cluster.metrics.observe("costmodel.rel_error.%s" % plan, rel_error)
+        # Workload-profile hooks (repro.advisor): per-table audit trail
+        # (drift detection needs a per-table error distribution), DML
+        # latency histogram on the simulated axis, and the bytes the
+        # plan rewrote (an OVERWRITE rewrites the whole master).
+        cluster.metrics.incr("costmodel.audits.%s" % table)
+        cluster.metrics.observe("costmodel.rel_error.table.%s" % table,
+                                rel_error)
+        cluster.metrics.observe("dualtable.dml_seconds.%s" % table,
+                                observed)
+        if plan == "overwrite":
+            cluster.metrics.incr("dualtable.bytes_rewritten.%s" % table,
+                                 self.master.data_bytes())
         self.note_attached_bytes()
         cluster.tracer.annotate(cost_audit=dict(audit))
         return audit
@@ -693,6 +737,7 @@ class DualTableHandler(StorageHandler):
         finally:
             self._compacting = False
         cluster.metrics.incr("dualtable.compacts")
+        cluster.metrics.incr("dualtable.compacts.%s" % self.table.name)
         cluster.metrics.observe("dualtable.compact.folded_bytes",
                                 attached_bytes)
         self.note_attached_bytes()

@@ -267,7 +267,33 @@ class ShowPartitionsStmt(Statement):
 
 @dataclass
 class ShowMetricsStmt(Statement):
-    pass
+    """``SHOW METRICS [LIKE 'glob']`` — optional name filter."""
+
+    like: str = None
+
+
+@dataclass
+class ShowAdvisorStmt(Statement):
+    """``SHOW ADVISOR``: workload findings from repro.advisor."""
+
+
+@dataclass
+class AnalyzeWorkloadStmt(Statement):
+    """``ANALYZE WORKLOAD [APPLY]``: run the workload advisor.
+
+    With APPLY, the actuator executes each finding's remediation
+    statements (``ALTER TABLE ... SET ...``) before returning.
+    """
+
+    apply: bool = False
+
+
+@dataclass
+class AlterDualTableStmt(Statement):
+    """``ALTER TABLE t SET DUALTABLE (read_factor = 2.0, ...)``."""
+
+    table: str
+    options: dict = field(default_factory=dict)
 
 
 @dataclass

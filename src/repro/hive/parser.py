@@ -135,7 +135,13 @@ class Parser:
             token = self.peek()
             if token.kind == "ident" and token.value.lower() == "metrics":
                 self.advance()
-                return ast.ShowMetricsStmt()
+                like = None
+                if self.accept_kw("like"):
+                    like = self.expect("string").value
+                return ast.ShowMetricsStmt(like=like)
+            if token.kind == "ident" and token.value.lower() == "advisor":
+                self.advance()
+                return ast.ShowAdvisorStmt()
             if token.kind == "ident" and token.value.lower() == "compactions":
                 self.advance()
                 return ast.ShowCompactionsStmt()
@@ -156,8 +162,23 @@ class Parser:
             self.expect_kw("describe")
             return ast.DescribeStmt(table=self.expect_ident())
         token = self.peek()
+        # ANALYZE is not a reserved word; accept it as a bare ident.
+        if token.kind == "ident" and token.value.lower() == "analyze":
+            self.advance()
+            return self._analyze_workload()
         raise ParseError("cannot parse statement starting with %r"
                          % (token.value,), token.pos)
+
+    def _analyze_workload(self):
+        token = self.advance()
+        if token.kind != "ident" or token.value.lower() != "workload":
+            raise ParseError("expected WORKLOAD after ANALYZE", token.pos)
+        apply = False
+        token = self.peek()
+        if token.kind == "ident" and token.value.lower() == "apply":
+            self.advance()
+            apply = True
+        return ast.AnalyzeWorkloadStmt(apply=apply)
 
     # ------------------------------------------------------------------
     # SELECT.
@@ -498,11 +519,13 @@ class Parser:
         return ast.AlterDropPartitionStmt(table=table, spec=spec)
 
     def _alter_autocompact(self, table):
-        # AUTOCOMPACT is not a reserved word; accept it as a bare ident.
+        # AUTOCOMPACT/DUALTABLE are not reserved; accept bare idents.
         token = self.advance()
+        if token.kind == "ident" and token.value.lower() == "dualtable":
+            return self._alter_dualtable(table)
         if token.kind != "ident" or token.value.lower() != "autocompact":
-            raise ParseError("expected AUTOCOMPACT after ALTER TABLE "
-                             "... SET", token.pos)
+            raise ParseError("expected AUTOCOMPACT or DUALTABLE after "
+                             "ALTER TABLE ... SET", token.pos)
         self.expect("punct", "(")
         if self.accept_kw("on"):
             enabled = True
@@ -532,6 +555,29 @@ class Parser:
         self.expect("punct", ")")
         return ast.AlterAutoCompactStmt(table=table, enabled=enabled,
                                         options=options)
+
+    def _alter_dualtable(self, table):
+        """``ALTER TABLE t SET DUALTABLE (key = value, ...)``."""
+        self.expect("punct", "(")
+        options = {}
+        while True:
+            key = self.expect_ident().lower()
+            self.expect("op", "=")
+            token = self.advance()
+            if token.kind == "number":
+                value = token.value
+            elif token.kind in ("string", "ident"):
+                value = token.value
+            elif token.kind == "kw" and token.value in ("true", "false"):
+                value = token.value == "true"
+            else:
+                raise ParseError("expected a literal DUALTABLE option "
+                                 "value", token.pos)
+            options[key] = value
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ")")
+        return ast.AlterDualTableStmt(table=table, options=options)
 
     def _compact(self):
         self.expect_kw("compact")

@@ -183,6 +183,14 @@ class HiveSession:
             self._stmt_depth -= 1
         self.cluster.metrics.incr("session.statements")
         self.cluster.metrics.incr("session.statements.%s" % verb)
+        if self._stmt_depth == 0:
+            # Latency histograms observe *simulated* seconds, so the
+            # distributions (and the advisor reading them) are identical
+            # across workers=N and engine=row/vectorized.
+            self.cluster.metrics.observe("statement.seconds",
+                                         result.sim_seconds)
+            self.cluster.metrics.observe("statement.seconds.%s" % verb,
+                                         result.sim_seconds)
         if self._stmt_depth == 0 and result.sim_seconds > 0:
             self.cluster.clock.advance(result.sim_seconds)
         if self._stmt_depth == 0:
@@ -209,8 +217,19 @@ class HiveSession:
             return explain(self, stmt.statement, analyze=stmt.analyze)
         if isinstance(stmt, ast.ShowMetricsStmt):
             return QueryResult(names=["metric", "type", "value"],
-                               rows=self.cluster.metrics.rows(),
+                               rows=self.cluster.metrics.rows(
+                                   like=stmt.like),
                                plan="show-metrics")
+        if isinstance(stmt, ast.ShowAdvisorStmt):
+            from repro.advisor import FINDING_COLUMNS, advisor_rows
+            return QueryResult(names=list(FINDING_COLUMNS),
+                               rows=advisor_rows(self),
+                               plan="show-advisor")
+        if isinstance(stmt, ast.AnalyzeWorkloadStmt):
+            from repro.advisor import analyze_workload
+            return analyze_workload(self, apply=stmt.apply)
+        if isinstance(stmt, ast.AlterDualTableStmt):
+            return self._alter_dualtable(stmt)
         if isinstance(stmt, ast.ShowSessionsStmt):
             if self.server is None:
                 raise AnalysisError(
@@ -297,6 +316,45 @@ class HiveSession:
                                     properties=properties,
                                     if_not_exists=stmt.if_not_exists)
         return QueryResult(plan="create")
+
+    def _alter_dualtable(self, stmt):
+        """``ALTER TABLE t SET DUALTABLE (read_factor = 2, mode = ...)``.
+
+        The advisor's actuator knobs: retunes the live handler *and*
+        the table properties, so the change survives handler re-reads
+        and shows in DESCRIBE-adjacent tooling.
+        """
+        info = self.metastore.table(stmt.table)
+        handler = info.handler
+        if getattr(handler, "kind", None) != "dualtable":
+            raise AnalysisError(
+                "ALTER TABLE ... SET DUALTABLE requires a DualTable "
+                "table (got %s stored as %s)" % (info.name, info.storage))
+        applied = {}
+        for key, value in stmt.options.items():
+            if key == "read_factor":
+                factor = int(value)
+                if factor < 1:
+                    raise AnalysisError("read_factor must be >= 1")
+                handler.read_factor = factor
+                info.properties["dualtable.read_factor"] = factor
+            elif key == "mode":
+                mode = str(value).lower()
+                if mode not in ("cost", "edit", "overwrite"):
+                    raise AnalysisError(
+                        "bad dualtable mode %r (cost/edit/overwrite)"
+                        % (value,))
+                handler.mode = mode
+                info.properties["dualtable.mode"] = mode
+            else:
+                raise AnalysisError(
+                    "unknown DUALTABLE option %r (read_factor, mode)"
+                    % (key,))
+            applied[key] = value
+        self.cluster.metrics.incr("advisor.alter_dualtable")
+        return QueryResult(plan="alter-dualtable",
+                           detail={"table": info.name,
+                                   "options": applied})
 
     def _drop_partition(self, stmt):
         info = self.metastore.table(stmt.table)

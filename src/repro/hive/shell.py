@@ -33,10 +33,13 @@ Statements end with ';'. Supported: CREATE TABLE ... [PARTITIONED BY
 (...)] STORED AS {ORC|HBASE|DUALTABLE|ACID}, CREATE VIEW, DROP, INSERT
 [PARTITION (...)], SELECT (joins/group by/subqueries/UNION ALL), UPDATE,
 DELETE, MERGE INTO, COMPACT [PARTIAL [n]], EXPLAIN [ANALYZE], SHOW
-TABLES, SHOW PARTITIONS, SHOW METRICS, SHOW COMPACTIONS, SHOW SESSIONS,
-SHOW SERVER STATS (the last two need a server front end), DESCRIBE,
+TABLES, SHOW PARTITIONS, SHOW METRICS [LIKE 'glob'], SHOW COMPACTIONS,
+SHOW SESSIONS, SHOW SERVER STATS (the last two need a server front
+end), SHOW ADVISOR, ANALYZE WORKLOAD [APPLY] (workload advisor:
+findings + remediations; APPLY executes them), DESCRIBE,
 ALTER TABLE ... DROP PARTITION,
-ALTER TABLE t SET AUTOCOMPACT (ON|OFF[, horizon = h, max_files = k]).
+ALTER TABLE t SET AUTOCOMPACT (ON|OFF[, horizon = h, max_files = k]),
+ALTER TABLE t SET DUALTABLE (read_factor = k[, mode = 'cost']).
 
 Shell commands:
   !tables          list tables with storage kind and row counts

@@ -16,11 +16,17 @@ import json
 _US = 1e6
 
 #: the span hierarchy the validator enforces (parent kinds allowed).
+#: Engine statement spans are roots when standalone, children of the
+#: PR-6 ``server.statement`` span under a DualTableServer, and nested
+#: under statement/phase when executed reentrantly (EXPLAIN ANALYZE,
+#: MERGE, advisor remediations).
 _PARENT_KINDS = {
     "task": {"job"},
     "job": {"statement", "phase"},
     "phase": {"statement", "phase", "job", "task"},
-    "substrate": {"statement", "phase", "job", "task", "substrate"},
+    "substrate": {"statement", "phase", "job", "task", "substrate",
+                  "server"},
+    "statement": {"server", "statement", "phase"},
 }
 
 
@@ -130,7 +136,9 @@ def validate_trace(doc, require_kinds=()):
             errors.append("%s: %s span nested under %s (allowed: %s)"
                           % (where, kind, parent.get("cat"),
                              "/".join(sorted(allowed))))
-        eps = 1e-3  # microsecond rounding slack
+        # ts and dur are each rounded to 1e-3 us independently on both
+        # the child and the parent, so endpoint error can reach 2e-3.
+        eps = 5e-3
         if event["ts"] < parent["ts"] - eps or \
                 event["ts"] + event["dur"] > parent["ts"] + parent["dur"] + eps:
             errors.append("%s: not time-contained in parent %r"
@@ -139,6 +147,47 @@ def validate_trace(doc, require_kinds=()):
     for kind in require_kinds:
         if kind not in present:
             errors.append("trace has no %r spans" % kind)
+    return errors
+
+
+def validate_server_spans(doc):
+    """Validate the PR-6 server spans; returns a list of error strings.
+
+    Every ``server``/``statement`` span wraps one engine execution, so
+    it must contain at least one child ``statement`` span (the handler
+    side of the statement), and at least one such span in the trace
+    must have nonzero duration — a server trace where every statement
+    is free means the sim axis never reached the exporter.
+    """
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        return ["trace must be an object with a 'traceEvents' list"]
+    spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    children = {}
+    for event in spans:
+        args = event.get("args") or {}
+        parent = args.get("parent_id")
+        if parent is not None:
+            children.setdefault((event.get("pid"), parent),
+                                []).append(event)
+    server_stmts = [e for e in spans
+                    if e.get("cat") == "server"
+                    and e.get("name") == "statement"]
+    if not server_stmts:
+        return ["trace has no server.statement spans"]
+    errors = []
+    saw_duration = False
+    for event in server_stmts:
+        args = event.get("args") or {}
+        where = ("server.statement span (id %s, session %s)"
+                 % (args.get("span_id"), args.get("session")))
+        kids = children.get((event.get("pid"), args.get("span_id")), [])
+        if not any(k.get("cat") == "statement" for k in kids):
+            errors.append("%s: no child statement span" % where)
+        if event.get("dur", 0) > 0:
+            saw_duration = True
+    if not saw_duration:
+        errors.append("every server.statement span has zero duration")
     return errors
 
 

@@ -19,21 +19,59 @@ same class of bug).  The capture path needs no lock — capture buffers
 are thread-local by construction.
 """
 
+import math
 import threading
 
 from collections import defaultdict
 
+#: log-bucket resolution: boundaries at 10**(i / _BUCKETS_PER_DECADE).
+#: Fixed for the life of the metric format — quantile estimates are a
+#: pure function of the bucket counts, so any two runs that observe the
+#: same multiset of values report byte-identical p50/p95/p99 regardless
+#: of observation order, worker count or execution engine.
+_BUCKETS_PER_DECADE = 5
+
+
+def bucket_index(value):
+    """The fixed log-bucket index of a positive value.
+
+    Bucket ``i`` covers ``(10**((i-1)/K), 10**(i/K)]`` with
+    ``K = _BUCKETS_PER_DECADE``; zero and negative values go to the
+    reserved ``None`` bucket (they have no logarithm).
+    """
+    if value <= 0.0:
+        return None
+    # ceil on the log axis, nudged so exact boundaries stay in their
+    # own bucket (10**(i/K) -> bucket i, not i+1).
+    return math.ceil(math.log10(value) * _BUCKETS_PER_DECADE - 1e-9)
+
+
+def bucket_upper_bound(index):
+    """Upper boundary of log bucket ``index`` (0.0 for the zero bucket)."""
+    if index is None:
+        return 0.0
+    return 10.0 ** (index / _BUCKETS_PER_DECADE)
+
 
 class Histogram:
-    """Streaming summary of observed values: count/sum/min/max."""
+    """Streaming summary of observed values: count/sum/min/max plus
+    fixed log-bucket counts for deterministic quantiles.
 
-    __slots__ = ("count", "total", "vmin", "vmax")
+    Quantiles are read from the bucket table (the reported pXX is the
+    upper boundary of the bucket holding that rank), so they are exactly
+    reproducible: same observed values — in any order — give the same
+    p50/p95/p99 to the last bit.  See docs/INTERNALS.md §11.
+    """
+
+    __slots__ = ("count", "total", "vmin", "vmax", "buckets")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.vmin = None
         self.vmax = None
+        #: log-bucket index -> count; None is the <= 0 bucket.
+        self.buckets = {}
 
     def observe(self, value):
         value = float(value)
@@ -41,14 +79,62 @@ class Histogram:
         self.total += value
         self.vmin = value if self.vmin is None else min(self.vmin, value)
         self.vmax = value if self.vmax is None else max(self.vmax, value)
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q):
+        """Deterministic quantile estimate from the log buckets.
+
+        Returns the upper boundary of the bucket containing the
+        ``ceil(q * count)``-th smallest observation (the zero bucket
+        reports 0.0).  Exact to bucket resolution (~58% per bucket at
+        5 buckets/decade), and independent of observation order.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        # None (the <=0 bucket) sorts first: those are the smallest.
+        for index in sorted(self.buckets,
+                            key=lambda i: (i is not None, i)):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return bucket_upper_bound(index)
+        return bucket_upper_bound(max(i for i in self.buckets
+                                      if i is not None)) \
+            if any(i is not None for i in self.buckets) else 0.0
+
+    @property
+    def p50(self):
+        return self.quantile(0.50)
+
+    @property
+    def p95(self):
+        return self.quantile(0.95)
+
+    @property
+    def p99(self):
+        return self.quantile(0.99)
+
+    def bucket_rows(self):
+        """``(upper_bound, count)`` rows in ascending-bucket order."""
+        return [(bucket_upper_bound(index), self.buckets[index])
+                for index in sorted(self.buckets,
+                                    key=lambda i: (i is not None, i))]
+
     def as_dict(self):
         return {"count": self.count, "sum": self.total,
-                "mean": self.mean, "min": self.vmin, "max": self.vmax}
+                "mean": self.mean, "min": self.vmin, "max": self.vmax,
+                "p50": self.p50, "p95": self.p95, "p99": self.p99,
+                "buckets": {("zero" if index is None else str(index)):
+                            self.buckets[index]
+                            for index in sorted(
+                                self.buckets,
+                                key=lambda i: (i is not None, i))}}
 
     def merge(self, other):
         if other.count == 0:
@@ -59,10 +145,12 @@ class Histogram:
             else min(self.vmin, other.vmin)
         self.vmax = other.vmax if self.vmax is None \
             else max(self.vmax, other.vmax)
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
 
     def __repr__(self):
-        return ("Histogram(count=%d, mean=%.4g, min=%s, max=%s)"
-                % (self.count, self.mean, self.vmin, self.vmax))
+        return ("Histogram(count=%d, mean=%.4g, p95=%.4g, min=%s, max=%s)"
+                % (self.count, self.mean, self.p95, self.vmin, self.vmax))
 
 
 class MetricsRegistry:
@@ -161,18 +249,32 @@ class MetricsRegistry:
                                for name, h in self.histograms.items()},
             }
 
-    def rows(self):
-        """``(metric, type, value)`` rows for table rendering."""
+    def rows(self, like=None):
+        """``(metric, type, value)`` rows for table rendering.
+
+        Ordering is deterministic: sorted by (name, type) only — values
+        never participate in the comparison, so mixed value types can't
+        make the sort order depend on dict insertion history.  ``like``
+        filters names with glob semantics (``SHOW METRICS LIKE
+        'server.*'``); a pattern without a wildcard is treated as a
+        prefix filter.
+        """
         with self._lock:
             rows = [(name, "counter", value)
                     for name, value in self.counters.items()]
             rows += [(name, "gauge", value)
                      for name, value in self.gauges.items()]
             rows += [(name, "histogram",
-                      "count=%d mean=%.4g min=%.4g max=%.4g"
-                      % (h.count, h.mean, h.vmin or 0.0, h.vmax or 0.0))
+                      "count=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g "
+                      "min=%.4g max=%.4g"
+                      % (h.count, h.mean, h.p50, h.p95, h.p99,
+                         h.vmin or 0.0, h.vmax or 0.0))
                      for name, h in self.histograms.items()]
-        return sorted(rows)
+        if like is not None:
+            import fnmatch
+            pattern = like if any(c in like for c in "*?[") else like + "*"
+            rows = [r for r in rows if fnmatch.fnmatchcase(r[0], pattern)]
+        return sorted(rows, key=lambda r: (r[0], r[1]))
 
     # ------------------------------------------------------------------
     # Aggregation / lifecycle.
@@ -194,3 +296,15 @@ class MetricsRegistry:
             self.counters.clear()
             self.gauges.clear()
             self.histograms.clear()
+
+    def reset_gauges(self, prefix):
+        """Drop every gauge whose name starts with ``prefix``.
+
+        Gauges are *owned* by the subsystem that sets them (a queue
+        depth belongs to one server instance, not to the cluster), so a
+        new owner clears its namespace on construction — otherwise a
+        fresh server inherits the last instance's residue in snapshots.
+        """
+        with self._lock:
+            for name in [n for n in self.gauges if n.startswith(prefix)]:
+                del self.gauges[name]

@@ -47,6 +47,9 @@ class AdmissionController:
             self.shed += 1
             if self.metrics is not None:
                 self.metrics.incr("server.shed")
+                # Per-tenant shed trail: the workload advisor's
+                # tenant-pressure finding reads these.
+                self.metrics.incr("server.shed.%s" % tenant)
             return False
         queue = self._queues.get(tenant)
         if queue is None:

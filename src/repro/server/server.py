@@ -57,7 +57,8 @@ _PRIO_ARRIVAL = 3
 _READ_ONLY = (ast.SelectStmt, ast.UnionAllStmt, ast.DescribeStmt,
               ast.ShowMetricsStmt, ast.ShowTablesStmt,
               ast.ShowPartitionsStmt, ast.ShowCompactionsStmt,
-              ast.ShowSessionsStmt, ast.ShowServerStatsStmt)
+              ast.ShowSessionsStmt, ast.ShowServerStatsStmt,
+              ast.ShowAdvisorStmt)
 
 
 def statement_tables(stmt):
@@ -151,6 +152,12 @@ class DualTableServer:
         self.engine = engine
         self.cluster = engine.cluster
         self.metrics = self.cluster.metrics
+        # Gauge lifecycle is per-server: queue depth / inflight describe
+        # THIS instance, so a fresh server on a reused cluster must not
+        # show the previous instance's residue in snapshots.
+        self.metrics.reset_gauges("server.")
+        self.metrics.gauge("server.queue_depth", 0)
+        self.metrics.gauge("server.inflight", 0)
         self.concurrency = max(1, int(concurrency))
         self.timeout_s = timeout_s
         self.seed = seed
@@ -255,6 +262,10 @@ class DualTableServer:
             if not stmt.analyze:
                 return True, False
             return self._classify(stmt.statement)
+        if isinstance(stmt, ast.AnalyzeWorkloadStmt):
+            # Plain ANALYZE only reads metrics; APPLY executes ALTER /
+            # COMPACT remediations, so it runs exclusively.
+            return (not stmt.apply), stmt.apply
         if isinstance(stmt, (ast.UpdateStmt, ast.DeleteStmt)):
             try:
                 info = self.engine.metastore.table(stmt.table)
@@ -390,6 +401,7 @@ class DualTableServer:
         if self.timeout_s is not None \
                 and self.now - rec.arrival_time > self.timeout_s:
             self.metrics.incr("server.timeouts")
+            self.metrics.incr("server.timeouts.%s" % session.tenant)
             self._finish(rec, "timeout",
                          error=StatementTimeout(
                              "queued %.3fs > timeout %.3fs"

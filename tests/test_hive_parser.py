@@ -245,6 +245,35 @@ class TestDmlDdlParsing:
         assert isinstance(parse("SHOW TABLES"), ast.ShowTablesStmt)
         assert parse("DESCRIBE t").table == "t"
 
+    def test_show_metrics_like(self):
+        stmt = parse("SHOW METRICS")
+        assert isinstance(stmt, ast.ShowMetricsStmt) and stmt.like is None
+        stmt = parse("SHOW METRICS LIKE 'dualtable.*'")
+        assert stmt.like == "dualtable.*"
+
+    def test_advisor_statements(self):
+        assert isinstance(parse("SHOW ADVISOR"), ast.ShowAdvisorStmt)
+        stmt = parse("ANALYZE WORKLOAD")
+        assert isinstance(stmt, ast.AnalyzeWorkloadStmt) and not stmt.apply
+        assert parse("ANALYZE WORKLOAD APPLY").apply
+
+    def test_alter_dualtable(self):
+        stmt = parse("ALTER TABLE t SET DUALTABLE "
+                     "(read_factor = 5, mode = 'cost')")
+        assert isinstance(stmt, ast.AlterDualTableStmt)
+        assert stmt.table == "t"
+        assert stmt.options == {"read_factor": 5, "mode": "cost"}
+
+    @pytest.mark.parametrize("sql", [
+        "ANALYZE",                          # missing WORKLOAD
+        "ANALYZE TABLE t",                  # unsupported form
+        "SHOW METRICS LIKE",                # dangling LIKE
+        "ALTER TABLE t SET DUALTABLE",      # missing options
+    ])
+    def test_advisor_parse_errors(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
     def test_script_parsing(self):
         stmts = parse_script("SELECT 1; SELECT 2;; SELECT 3")
         assert len(stmts) == 3

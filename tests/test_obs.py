@@ -9,7 +9,8 @@ from repro.cluster import Cluster, ClusterProfile
 from repro.hive import HiveSession
 from repro.obs.export import (load_trace, span_event, tracer_trace,
                               validate_trace, write_trace)
-from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.registry import (Histogram, MetricsRegistry, bucket_index,
+                                bucket_upper_bound)
 
 
 @pytest.fixture
@@ -65,6 +66,72 @@ class TestRegistry:
         reg.incr("x")
         reg.reset()
         assert reg.counter("x") == 0
+
+    def test_bucket_index_brackets_value(self):
+        # Every positive value lands in the bucket whose upper bound is
+        # the smallest 10**(i/5) >= value.
+        for value in (1e-6, 0.004, 0.99, 1.0, 1.0001, 7.3, 1e4):
+            i = bucket_index(value)
+            assert value <= bucket_upper_bound(i) * (1 + 1e-12)
+            assert value > bucket_upper_bound(i - 1) * (1 - 1e-12)
+        assert bucket_index(0.0) is None
+        assert bucket_index(-3.0) is None
+
+    def test_quantiles_hit_bucket_upper_bounds(self):
+        hist = Histogram()
+        for v in (0.001, 0.01, 0.1, 1.0, 10.0):
+            hist.observe(v)
+        # p50 -> rank 3 of 5 -> the 0.1 bucket's upper bound.
+        assert hist.p50 == pytest.approx(bucket_upper_bound(
+            bucket_index(0.1)))
+        assert hist.p99 == pytest.approx(bucket_upper_bound(
+            bucket_index(10.0)))
+
+    def test_quantiles_insensitive_to_observation_order(self):
+        values = [0.003, 7.0, 0.2, 0.2, 55.0, 0.0, 1.0, 0.03]
+        a, b = Histogram(), Histogram()
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        # Merge order must not matter either (worker merge path).
+        c, d = Histogram(), Histogram()
+        for v in values[:4]:
+            c.observe(v)
+        for v in values[4:]:
+            d.observe(v)
+        c.merge(d)
+        for h in (b, c):
+            assert (h.p50, h.p95, h.p99) == (a.p50, a.p95, a.p99)
+            assert h.buckets == a.buckets
+            assert (h.count, h.vmin, h.vmax) == (a.count, a.vmin, a.vmax)
+            # Float addition is not associative, so only the running
+            # total is approximate across orders.
+            assert h.total == pytest.approx(a.total)
+
+    def test_rows_like_glob(self):
+        reg = MetricsRegistry()
+        reg.incr("dualtable.scans.t1")
+        reg.incr("dualtable.scans.t2")
+        reg.incr("mapreduce.jobs")
+        reg.observe("statement.seconds", 0.5)
+        # Bare prefix gets an implicit trailing *.
+        names = [r[0] for r in reg.rows(like="dualtable.")]
+        assert names == ["dualtable.scans.t1", "dualtable.scans.t2"]
+        # Explicit glob is used verbatim.
+        names = [r[0] for r in reg.rows(like="*.seconds")]
+        assert names == ["statement.seconds"]
+        assert reg.rows(like="nothing.*") == []
+
+    def test_reset_gauges_by_prefix(self):
+        reg = MetricsRegistry()
+        reg.gauge("server.inflight", 3)
+        reg.gauge("server.queue_depth", 2)
+        reg.gauge("dualtable.attached_bytes.t", 10)
+        reg.reset_gauges("server.")
+        gauges = reg.snapshot()["gauges"]
+        assert "server.inflight" not in gauges
+        assert gauges["dualtable.attached_bytes.t"] == 10
 
 
 # ----------------------------------------------------------------------
@@ -184,6 +251,29 @@ class TestSessionMetrics:
         names = [row[0] for row in result.rows]
         assert "session.statements" in names
         assert "mapreduce.jobs" in names
+
+    def test_show_metrics_like_filters_and_sorts(self, dual_session):
+        dual_session.execute("SELECT count(*) FROM dt")
+        dual_session.execute("UPDATE dt SET v = 0 WHERE id = 1")
+        result = dual_session.execute("SHOW METRICS LIKE 'dualtable.'")
+        names = [row[0] for row in result.rows]
+        assert names == sorted(names)
+        assert names and all(n.startswith("dualtable.") for n in names)
+        # The filtered view is exactly the matching slice of the
+        # unfiltered, deterministically-sorted listing.
+        everything = dual_session.execute("SHOW METRICS").rows
+        assert [r for r in everything
+                if r[0].startswith("dualtable.")] == result.rows
+
+    def test_statement_latency_histograms(self, dual_session):
+        dual_session.execute("SELECT count(*) FROM dt")
+        dual_session.execute("UPDATE dt SET v = 1 WHERE id = 2")
+        metrics = dual_session.cluster.metrics
+        overall = metrics.histogram("statement.seconds")
+        assert overall.count >= 2
+        assert metrics.histogram("statement.seconds.select").count == 1
+        assert metrics.histogram("statement.seconds.update").count == 1
+        assert overall.p95 >= overall.p50 > 0
 
     def test_fault_firings_counted(self):
         from repro.faults import Fault, FaultPlan

@@ -194,6 +194,35 @@ class TestAdmission:
                               if o["status"] == "committed")
         assert ledger_totals(server.engine)[0] == committed_delta
 
+    def test_shed_and_timeout_counted_per_tenant(self):
+        server = make_server(max_queue=2, concurrency=1)
+        arrivals = ledger_arrivals(server, clients=10, statements=30,
+                                   accounts=8, seed=2, mean_gap_s=0.0001)
+        outcomes = server.run(arrivals)
+        shed = [o for o in outcomes if o["status"] == "shed"]
+        per_tenant = sum(
+            count for name, count in server.metrics.counters.items()
+            if name.startswith("server.shed."))
+        assert per_tenant == len(shed) > 0
+
+    def test_server_gauges_reset_between_instances(self):
+        """A second server on the same cluster must not inherit the
+        previous instance's terminal queue_depth/inflight gauges."""
+        server = make_server(max_queue=2, concurrency=1)
+        arrivals = ledger_arrivals(server, clients=10, statements=30,
+                                   accounts=8, seed=2, mean_gap_s=0.0001)
+        server.run(arrivals)
+        gauges = server.metrics.snapshot()["gauges"]
+        assert "server.queue_depth" in gauges
+        # Leave a stale nonzero value behind on purpose.
+        server.metrics.gauge("server.queue_depth", 99)
+        server.metrics.gauge("server.inflight", 7)
+        fresh = DualTableServer(engine=server.engine, concurrency=1,
+                                seed=3)
+        gauges = fresh.metrics.snapshot()["gauges"]
+        assert gauges["server.queue_depth"] == 0
+        assert gauges["server.inflight"] == 0
+
     def test_round_robin_is_fair_across_tenants(self):
         """A flooding tenant lengthens its own queue, not the victim's:
         the victim's single statement dispatches within one round."""
