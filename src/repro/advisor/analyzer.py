@@ -32,6 +32,9 @@ DRIFT_REL_ERROR = 0.25
 MIN_AUDITS = 3
 #: EWMA reads-per-DML vs declared read_factor mismatch factor.
 READ_FACTOR_MISMATCH = 2.0
+#: minimum LOOKUP-eligible statements forced through MR before the
+#: routing rule speaks up (``SET dualtable.plan = scan`` left on).
+MIN_LOOKUP_ELIGIBLE = 3
 
 
 class WorkloadAdvisor:
@@ -109,7 +112,31 @@ class WorkloadAdvisor:
         out.extend(self._read_factor_rule(p))
         out.extend(self._drift_rule(p))
         out.extend(self._regret_rule(p))
+        out.extend(self._lookup_routing_rule(p))
         return out
+
+    def _lookup_routing_rule(self, p):
+        """PK point reads routed through MapReduce despite a cheaper
+        LOOKUP plan — the per-statement counter only increments when the
+        planner judged the statement eligible *and* LOOKUP-cheaper but
+        the session (or cost verdict this close to the crossover) sent
+        it to the scan path anyway."""
+        if p.lookup_eligible_scans < MIN_LOOKUP_ELIGIBLE:
+            return []
+        return [Finding(
+            code="lookup-eligible-scan",
+            severity="warn",
+            subject=p.table,
+            summary=("%d PRIMARY-KEY point reads paid MapReduce startup "
+                     "although the LOOKUP plan was eligible (%d lookups "
+                     "actually taken) — let the cost model route reads"
+                     % (p.lookup_eligible_scans, p.lookups)),
+            evidence={"lookup_eligible_scans": p.lookup_eligible_scans,
+                      "lookups": p.lookups,
+                      "lookup_fallbacks": p.lookup_fallbacks},
+            remediation=[
+                "SET dualtable.plan = cost",
+            ])]
 
     def _read_factor_rule(self, p):
         if p.dmls < MIN_DMLS:

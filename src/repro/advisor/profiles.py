@@ -55,6 +55,9 @@ class TableProfile:
     plan_edit: int = 0
     plan_overwrite: int = 0
     plan_forced: int = 0
+    lookups: int = 0
+    lookup_eligible_scans: int = 0
+    lookup_fallbacks: int = 0
     overwrite_regret: int = 0
     edit_regret: int = 0
     regret_seconds: float = 0.0
@@ -92,6 +95,9 @@ class TableProfile:
             "plan_edit": self.plan_edit,
             "plan_overwrite": self.plan_overwrite,
             "plan_forced": self.plan_forced,
+            "lookups": self.lookups,
+            "lookup_eligible_scans": self.lookup_eligible_scans,
+            "lookup_fallbacks": self.lookup_fallbacks,
             "overwrite_regret": self.overwrite_regret,
             "edit_regret": self.edit_regret,
             "regret_seconds": round(self.regret_seconds, 6),
@@ -143,6 +149,9 @@ def build_profile(session, name):
         plan_edit=c("dualtable.plan.edit.%s"),
         plan_overwrite=c("dualtable.plan.overwrite.%s"),
         plan_forced=c("dualtable.plan.forced.%s"),
+        lookups=c("dualtable.plan.lookup.%s"),
+        lookup_eligible_scans=c("dualtable.plan.lookup_eligible_scan.%s"),
+        lookup_fallbacks=c("dualtable.plan.lookup_fallback.%s"),
         overwrite_regret=c("dualtable.plan.overwrite_regret.%s"),
         edit_regret=c("dualtable.plan.edit_regret.%s"),
         regret_seconds=regret.total if regret else 0.0,

@@ -249,6 +249,40 @@ class AttachedTable:
             cache.put(key, stats, nbytes=64)
         return stats
 
+    def pk_dirty_in_file(self, file_id, column_index):
+        """True if any delta in this file rewrites the PK column itself.
+
+        Stripe pruning by primary-key min/max on a file *with* deltas is
+        still sound as long as no delta moves a row across PK ranges —
+        non-PK updates cannot change which stripe a key lives in, and
+        deletes of pruned rows are irrelevant.  The one unsound case is
+        an UPDATE that sets the PK column: the LOOKUP planner must read
+        such a file in full.  Control-plane metadata (uncharged, via
+        ``scan_silent``) memoized beside the presence index so every
+        cache-invalidation path covers it for free.
+        """
+        cache = self._delta_cache()
+        key = None
+        if cache is not None and cache.budget_bytes > 0:
+            key = (self.name, self.backend, file_id, "pk-dirty",
+                   column_index)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        start, stop = file_key_range(file_id)
+        dirty = False
+        for _, cells in self._htable().scan_silent(start, stop):
+            for qualifier in cells:
+                kind, col = parse_qualifier(qualifier)
+                if kind == "update" and col == column_index:
+                    dirty = True
+                    break
+            if dirty:
+                break
+        if key is not None:
+            cache.put(key, dirty, nbytes=64)
+        return dirty
+
     def entry_count(self):
         return self._htable().count_rows()
 

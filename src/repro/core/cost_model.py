@@ -111,6 +111,21 @@ class PlanChoice:
     touched_rows: float
 
 
+@dataclass
+class LookupChoice:
+    """Why the planner routed (or refused to route) a read as LOOKUP."""
+
+    plan: str               # 'lookup' | 'scan'
+    cost_difference: float  # positive ⇒ LOOKUP cheaper
+    lookup_seconds: float
+    scan_seconds: float
+    files_read: int
+    total_files: int
+    lookup_bytes: int
+    scan_bytes: int
+    probe_entries: int
+
+
 class CostModel:
     """Chooses EDIT vs OVERWRITE for one statement on one cluster."""
 
@@ -200,6 +215,36 @@ class CostModel:
             k=k,
             d_bytes=d_bytes,
             touched_rows=touched,
+        )
+
+    def choose_lookup_plan(self, scan_bytes, total_files, lookup_bytes,
+                           files_read, probe_bytes, probe_entries,
+                           job_startup_s=0.0, task_overhead_s=0.0):
+        """Choose LOOKUP vs the MR scan plan for one point/range read.
+
+        The scan plan pays the MapReduce fixed costs (job submission plus
+        one task per file split) and streams every file's projected
+        bytes.  The LOOKUP plan pays no job overhead: it reads only the
+        stripes whose PK min/max admit the predicate (``lookup_bytes``
+        over ``files_read`` candidate files) plus an attached-table probe
+        of the candidates' delta ranges (``probe_bytes`` /
+        ``probe_entries``).  Positive difference ⇒ LOOKUP cheaper.
+        """
+        scan_cost = (job_startup_s + total_files * task_overhead_s
+                     + self._master_read(scan_bytes))
+        lookup_cost = (self._master_read(lookup_bytes)
+                       + self._attached_read(probe_bytes, probe_entries))
+        difference = scan_cost - lookup_cost
+        return LookupChoice(
+            plan="lookup" if difference > 0 else "scan",
+            cost_difference=difference,
+            lookup_seconds=lookup_cost,
+            scan_seconds=scan_cost,
+            files_read=files_read,
+            total_files=total_files,
+            lookup_bytes=lookup_bytes,
+            scan_bytes=scan_bytes,
+            probe_entries=probe_entries,
         )
 
     # -- crossover analysis (used by the ablation benches) ---------------

@@ -27,6 +27,7 @@ from repro.core.attached import AttachedTable
 from repro.core.cost_model import CostModel
 from repro.core.editlog import (EditBatch, recover_edit_logs,
                                 run_with_retries)
+from repro.core.lookup import run_lookup
 from repro.core.master import MasterTable
 from repro.core.metadata import DualTableMetadata
 from repro.core.record_id import RECORD_ID_BYTES
@@ -65,6 +66,10 @@ class DualTableHandler(StorageHandler):
         if self.mode not in ("cost", "edit", "overwrite"):
             raise DualTableError("bad dualtable.mode: %r" % self.mode)
         self.read_factor = int(props.get("dualtable.read_factor", 1))
+        pk = props.get("dualtable.primary_key")
+        self.primary_key = str(pk).lower() if pk else None
+        self.lookup_rows_limit = int(props.get("dualtable.lookup.max_rows",
+                                               10_000))
         self._compacting = False
         # Crash-recovery bookkeeping: the EDIT-plan redo-log directory
         # and the COMPACT two-phase-commit paths (all siblings of the
@@ -345,6 +350,78 @@ class DualTableHandler(StorageHandler):
             return {i: i for i in range(len(schema))}
         return {schema.index_of(name): pos
                 for pos, name in enumerate(projection)}
+
+    # ------------------------------------------------------------------
+    # LOOKUP (the third plan type: point reads without MapReduce).
+    # ------------------------------------------------------------------
+    def execute_lookup(self, plan, engine="row", batch_rows=None):
+        """Run one planned LOOKUP read at sub-job cost (no MR planner).
+
+        Returns ``(rows, sim_seconds, detail)``.  ``sim_seconds`` is the
+        ledger-observed device time of the read — there is no Job to sum,
+        so the statement's simulated latency is taken straight from the
+        charges the union-read merge recorded.  The detail carries the
+        same predicted-vs-observed audit shape DML plans emit, so EXPLAIN
+        ANALYZE prints a cost-model audit line for LOOKUPs too.
+        """
+        self._check_not_compacting()
+        self._ensure_recovered()
+        cluster = self.env.cluster
+        table = self.table.name
+        before = cluster.ledger.snapshot()
+        with cluster.tracer.span("phase", "dualtable:lookup", table=table,
+                                 files=len(plan.files),
+                                 est_rows=plan.est_rows) as span:
+            rows = run_lookup(self, plan, engine=engine,
+                              batch_rows=batch_rows)
+            span.annotate(rows=len(rows))
+        delta = cluster.ledger.diff(before)
+        observed = delta["total_seconds"]
+        nbytes = sum(delta["bytes"].values())
+        metrics = cluster.metrics
+        metrics.incr("dualtable.lookups.%s" % table)
+        metrics.incr("dualtable.plan.lookup")
+        metrics.incr("dualtable.plan.lookup.%s" % table)
+        metrics.observe("dualtable.plan.lookup_seconds.%s" % table,
+                        observed)
+        metrics.observe("dualtable.plan.lookup_bytes.%s" % table, nbytes)
+        choice = plan.choice
+        predicted = choice.lookup_seconds
+        rel_error = (abs(predicted - observed) / observed
+                     if observed > 0 else 0.0)
+        audit = {"plan": "lookup",
+                 "predicted_seconds": predicted,
+                 "observed_seconds": observed,
+                 "rel_error": rel_error}
+        metrics.incr("costmodel.audits")
+        metrics.incr("costmodel.audits.%s" % table)
+        metrics.observe("costmodel.rel_error", rel_error)
+        metrics.observe("costmodel.rel_error.lookup", rel_error)
+        metrics.observe("costmodel.rel_error.table.%s" % table, rel_error)
+        cluster.tracer.annotate(cost_audit=dict(audit))
+        detail = {"plan": "lookup",
+                  "files_read": len(plan.files),
+                  "total_files": plan.total_files,
+                  "est_rows": plan.est_rows,
+                  "lookup_bytes": nbytes,
+                  "lookup_seconds": choice.lookup_seconds,
+                  "scan_seconds": choice.scan_seconds,
+                  "cost_difference": choice.cost_difference,
+                  "audit": audit}
+        return rows, observed, detail
+
+    def note_lookup_eligible_scan(self):
+        """A lookup-eligible read routed to the scan plan (advisor feed)."""
+        metrics = self.env.cluster.metrics
+        metrics.incr("dualtable.plan.lookup_eligible_scan")
+        metrics.incr("dualtable.plan.lookup_eligible_scan.%s"
+                     % self.table.name)
+
+    def note_lookup_fallback(self):
+        """A mid-lookup fault made the statement fall back to the scan."""
+        metrics = self.env.cluster.metrics
+        metrics.incr("dualtable.plan.lookup_fallback")
+        metrics.incr("dualtable.plan.lookup_fallback.%s" % self.table.name)
 
     # ------------------------------------------------------------------
     # Statistics.

@@ -24,7 +24,7 @@ Any failure reproduces from its seed alone.
 
 from repro.common.errors import ReproError
 from repro.common.rng import make_rng
-from repro.faults.injector import FaultPlan
+from repro.faults.injector import Fault, FaultPlan
 
 
 def build_chaos_session(num_rows=48, rows_per_file=12):
@@ -193,6 +193,114 @@ def run_server_chaos_schedule(seed, statements=40, clients=8, accounts=12,
     total_thrice, _ = ledger_totals(server.engine)
     assert total_once == total_twice == total_thrice, (
         "recover() is not idempotent for seed %r" % seed)
+    return summary
+
+
+def build_lookup_chaos_session(num_rows=48, rows_per_file=12):
+    """A PRIMARY KEY DualTable session shaped for LOOKUP fault testing."""
+    from repro.cluster import ClusterProfile
+    from repro.hive import HiveSession
+
+    profile = ClusterProfile.laptop(num_workers=3)
+    session = HiveSession(profile=profile)
+    session.execute(
+        "CREATE TABLE t (k int, v int, PRIMARY KEY (k)) "
+        "STORED AS DUALTABLE "
+        "TBLPROPERTIES ('orc.rows_per_file' = '%d', "
+        "'orc.stripe_rows' = '6')" % rows_per_file)
+    rows = [(i, i * 10) for i in range(num_rows)]
+    session.load_rows("t", rows)
+    return session, dict(rows)
+
+
+def run_lookup_chaos_schedule(seed, n_statements=10, num_rows=48):
+    """One seeded LOOKUP chaos experiment; returns a summary dict.
+
+    Interleaves forced-LOOKUP point reads (``SET dualtable.plan =
+    lookup``) with UPDATE / DELETE / COMPACT statements under a random
+    fault plan over the LOOKUP injection points (``lookup.index_read``
+    crashes, ``lookup.hbase_probe`` crashes and region-server crashes).
+    The robustness bar:
+
+    * every statement succeeds — a mid-lookup fault falls back to the
+      MR scan plan instead of failing the SELECT (both LOOKUP points
+      fire before the first charged byte, so nothing is double-charged;
+      the ledger-equality proof lives in tests/test_lookup.py);
+    * every point read returns exactly the oracle's rows, faults or not;
+    * the fallback counter equals the number of fired LOOKUP faults;
+    * the full-scan oracle check passes after every statement.
+
+    Any failure reproduces from its seed alone.
+    """
+    from repro.core.lookup import LOOKUP_CHAOS_POINTS
+
+    rng = make_rng("lookup-chaos", seed)
+    session, oracle = build_lookup_chaos_session(num_rows=num_rows)
+    faults = session.cluster.faults
+    schedule = []
+    for _ in range(rng.randint(1, 3)):
+        point = rng.choice(sorted(LOOKUP_CHAOS_POINTS))
+        kind = rng.choice(LOOKUP_CHAOS_POINTS[point])
+        schedule.append(Fault(point=point, nth_hit=rng.randint(1, 4),
+                              kind=kind))
+    faults.install(FaultPlan(schedule))
+    summary = {"seed": seed, "statements": n_statements, "lookups": 0,
+               "fallbacks": 0, "fired": []}
+    try:
+        for _ in range(n_statements):
+            roll = rng.random()
+            if roll < 0.5:
+                k = rng.randrange(num_rows)
+                fired_before = len(faults.fired)
+                session.execute("SET dualtable.plan = lookup")
+                try:
+                    result = session.execute(
+                        "SELECT k, v FROM t WHERE k = %d" % k)
+                finally:
+                    session.execute("SET dualtable.plan = cost")
+                expected = [(k, oracle[k])] if k in oracle else []
+                assert result.rows == expected, (
+                    "seed %r: lookup k=%d returned %r, oracle %r"
+                    % (seed, k, result.rows, expected))
+                if len(faults.fired) > fired_before:
+                    # A fault fired mid-lookup: the statement must have
+                    # fallen back to the MR scan plan, not failed.
+                    assert result.plan.startswith("select("), (
+                        "seed %r: faulted lookup reported plan %r"
+                        % (seed, result.plan))
+                summary["lookups"] += 1
+            elif roll < 0.75:
+                lo = rng.randrange(num_rows)
+                hi = min(num_rows,
+                         lo + rng.randint(1, max(2, num_rows // 4)))
+                delta = rng.randint(1, 99)
+                session.execute(
+                    "UPDATE t SET v = v + %d WHERE k >= %d AND k < %d"
+                    % (delta, lo, hi))
+                for key in oracle:
+                    if lo <= key < hi:
+                        oracle[key] += delta
+            elif roll < 0.9:
+                k = rng.randrange(num_rows)
+                session.execute("DELETE FROM t WHERE k = %d" % k)
+                oracle.pop(k, None)
+            else:
+                session.execute("COMPACT TABLE t PARTIAL"
+                                if rng.random() < 0.5
+                                else "COMPACT TABLE t")
+            verify_against_oracle(session, oracle)
+    finally:
+        summary["fired"] = [(f.point, f.kind) for f, _ in faults.fired]
+        faults.uninstall()
+    fired_lookup = [pair for pair in summary["fired"]
+                    if pair[0] in LOOKUP_CHAOS_POINTS]
+    fallbacks = session.cluster.metrics.counters.get(
+        "dualtable.plan.lookup_fallback.t", 0)
+    assert fallbacks == len(fired_lookup), (
+        "seed %r: %d LOOKUP faults fired but %d fallbacks recorded"
+        % (seed, len(fired_lookup), fallbacks))
+    summary["fallbacks"] = fallbacks
+    verify_against_oracle(session, oracle)
     return summary
 
 

@@ -118,6 +118,19 @@ class HTable:
     def scan_all(self, **kwargs):
         return list(self.scan(**kwargs))
 
+    def scan_silent(self, start_row=None, stop_row=None, versions=1):
+        """Uncharged :meth:`scan` for control-plane planning stats.
+
+        Planners use this to classify ranges (e.g. does any delta touch
+        the primary-key column?) without perturbing the ledger; never
+        use it on a data path.
+        """
+        self._service.ensure_available()
+        for region in self._regions_in_range(start_row, stop_row):
+            for row, data in region.scan(start_row, stop_row,
+                                         versions=versions):
+                yield row, data
+
     # ------------------------------------------------------------------
     # Maintenance.
     # ------------------------------------------------------------------

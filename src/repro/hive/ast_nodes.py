@@ -208,6 +208,7 @@ class CreateTableStmt(Statement):
     properties: dict = field(default_factory=dict)
     if_not_exists: bool = False
     partition_columns: list = field(default_factory=list)
+    primary_key: str = None     # single PK column (LOOKUP eligibility)
 
 
 @dataclass
@@ -294,6 +295,14 @@ class AlterDualTableStmt(Statement):
 
     table: str
     options: dict = field(default_factory=dict)
+
+
+@dataclass
+class SetOptionStmt(Statement):
+    """``SET dualtable.plan = lookup|scan|cost`` — session-level knob."""
+
+    name: str
+    value: str
 
 
 @dataclass

@@ -18,7 +18,7 @@ import heapq
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import AnalysisError
+from repro.common.errors import AnalysisError, FaultInjectedError
 from repro.mapreduce import InputSplit, Job, estimate_record_bytes
 from repro.hive import ast_nodes as ast
 from repro.hive.aggregates import (AggregateSpec, rewrite_aggregates,
@@ -142,6 +142,10 @@ class SelectExecutor:
     def __init__(self, session):
         self.session = session
         self.jobs = []
+        #: simulated seconds charged by LOOKUP-plan reads (no Job exists
+        #: to sum, so the session adds this to the jobs' time).
+        self.lookup_seconds = 0.0
+        self.lookup_details = []
 
     @property
     def cluster(self):
@@ -155,6 +159,11 @@ class SelectExecutor:
     def engine(self):
         """``"row"`` or ``"vectorized"`` — a wall-clock-only choice."""
         return getattr(self.session, "engine", "row")
+
+    @property
+    def plan_mode(self):
+        """``cost`` (default), or the forced ``lookup`` / ``scan`` knob."""
+        return getattr(self.session, "plan_mode", "cost")
 
     @property
     def batch_rows(self):
@@ -448,6 +457,8 @@ class SelectExecutor:
     # Join (reduce-side).
     # ------------------------------------------------------------------
     def _join(self, left, right, join):
+        self._reject_forced_lookup(left, "a join")
+        self._reject_forced_lookup(right, "a join")
         left_env, right_env = left.env, right.env
         merged_env = merge_envs(left_env, right_env)
         equi, leftover = self._split_join_condition(join.condition,
@@ -615,6 +626,7 @@ class SelectExecutor:
             if stmt.distinct:
                 raise AnalysisError(
                     "SELECT DISTINCT cannot be combined with aggregates")
+            self._reject_forced_lookup(relation, "aggregation")
             names, rows = self._aggregate_stage(stmt, items, relation)
         else:
             names, rows = self._projection_stage(stmt, items, relation)
@@ -637,6 +649,11 @@ class SelectExecutor:
             rows = [tuple(fn(r) for fn in compiled) for r in relation.rows]
             self.cluster.charge_cpu_rows(len(relation.rows))
             return names, rows
+        source_rows = self._try_lookup(relation)
+        if source_rows is not None:
+            rows = [tuple(fn(r) for fn in compiled) for r in source_rows]
+            self.cluster.charge_cpu_rows(len(source_rows))
+            return names, rows
         if self.engine == "vectorized":
             bexprs = [compile_batch(item.expr, relation.env)
                       for item in items]
@@ -658,6 +675,87 @@ class SelectExecutor:
         result = self.runner.run(job)
         self.jobs.append(result)
         return names, result.outputs
+
+    # ------------------------------------------------------------------
+    # LOOKUP routing (the plan that skips MapReduce entirely).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lookup_capable(relation):
+        return (isinstance(relation, ScanSource)
+                and getattr(relation.handler, "primary_key", None) is not None
+                and hasattr(relation.handler, "execute_lookup"))
+
+    def _try_lookup(self, relation):
+        """Route an eligible dualtable scan through the LOOKUP plan.
+
+        Returns the merged source rows (tuples in ``relation.env`` order
+        with the residual filter applied) when the LOOKUP plan ran, or
+        None to fall through to the MR scan.  A non-fatal injected fault
+        anywhere in the lookup (index read, attached probe) falls back to
+        the scan plan — planning is uncharged and both fault points fire
+        before the first charged byte, so the fallback never double
+        charges.
+        """
+        # Imported lazily: repro.core imports the session module for
+        # QueryResult, so a top-level import would be circular.
+        from repro.core.lookup import plan_lookup
+
+        mode = self.plan_mode
+        if not isinstance(relation, ScanSource):
+            return None
+        handler = relation.handler
+        if not self._lookup_capable(relation):
+            if mode == "lookup":
+                raise AnalysisError(
+                    "SET dualtable.plan = lookup: table %r has no PRIMARY "
+                    "KEY lookup path" % relation.alias)
+            return None
+        if mode == "scan":
+            if plan_lookup(handler, relation.ranges, relation.projection,
+                           hit_faults=False) is not None:
+                handler.note_lookup_eligible_scan()
+            return None
+        try:
+            plan = plan_lookup(handler, relation.ranges,
+                               relation.projection)
+        except FaultInjectedError as exc:
+            if exc.fatal:
+                raise
+            handler.note_lookup_fallback()
+            return None
+        if plan is None:
+            if mode == "lookup":
+                raise AnalysisError(
+                    "SET dualtable.plan = lookup: predicate does not bound "
+                    "PRIMARY KEY %r (or the range exceeds "
+                    "dualtable.lookup.max_rows)" % handler.primary_key)
+            return None
+        if mode != "lookup" and plan.choice.plan != "lookup":
+            handler.note_lookup_eligible_scan()
+            return None
+        try:
+            rows, seconds, detail = handler.execute_lookup(
+                plan, engine=self.engine, batch_rows=self.batch_rows)
+        except FaultInjectedError as exc:
+            if exc.fatal:
+                raise
+            handler.note_lookup_fallback()
+            return None
+        self.lookup_seconds += seconds
+        self.lookup_details.append(detail)
+        if relation.filter_expr is not None:
+            predicate = compile_expr(relation.filter_expr, relation.env)
+            filtered = [r for r in rows if is_true(predicate(r))]
+            self.cluster.charge_cpu_rows(len(rows))
+            return filtered
+        return rows
+
+    def _reject_forced_lookup(self, relation, what):
+        if self.plan_mode == "lookup" and self._lookup_capable(relation):
+            raise AnalysisError(
+                "SET dualtable.plan = lookup cannot serve %s over "
+                "DualTable %r — SET dualtable.plan = cost (or scan) first"
+                % (what, relation.alias))
 
     def _aggregate_stage(self, stmt, items, relation):
         group_by = list(stmt.group_by)

@@ -208,6 +208,38 @@ def _explain_scan(session, table_ref, where, needed, lines, indent):
     if usable:
         lines.append(pad + "  stripe-prunable predicate columns: %s"
                      % ", ".join(usable))
+    if getattr(handler, "primary_key", None) is not None:
+        _explain_lookup(session, handler, ranges, projection or None,
+                        lines, indent)
+
+
+def _explain_lookup(session, handler, ranges, projection, lines, indent):
+    """LOOKUP-plan eligibility and cost verdict (uncharged planning)."""
+    from repro.core.lookup import plan_lookup
+
+    pad = _pad(indent)
+    mode = getattr(session, "plan_mode", "cost")
+    plan = plan_lookup(handler, ranges, projection=projection,
+                       hit_faults=False)
+    if plan is None:
+        if mode == "lookup":
+            lines.append(pad + "  plan: LOOKUP forced but ineligible "
+                               "(statement will fail)")
+        return
+    choice = plan.choice
+    chosen = mode if mode in ("lookup", "scan") else choice.plan
+    lines.append(pad + "  LOOKUP eligibility (PRIMARY KEY %s):" % plan.pk)
+    lines.append(pad + "    candidate files:  %d of %d (~%d row(s))"
+                 % (choice.files_read, choice.total_files, plan.est_rows))
+    lines.append(pad + "    LOOKUP cost:      %.4fs (%s)"
+                 % (choice.lookup_seconds, fmt_bytes(choice.lookup_bytes)))
+    lines.append(pad + "    scan cost:        %.4fs (%s)"
+                 % (choice.scan_seconds, fmt_bytes(choice.scan_bytes)))
+    if mode != "cost":
+        lines.append(pad + "    plan: %s (forced by dualtable.plan)"
+                     % chosen)
+    else:
+        lines.append(pad + "    plan: %s" % chosen)
 
 
 def _dml_header(session, stmt, verb, lines):

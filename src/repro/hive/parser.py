@@ -161,6 +161,8 @@ class Parser:
         if self.check_kw("describe"):
             self.expect_kw("describe")
             return ast.DescribeStmt(table=self.expect_ident())
+        if self.check_kw("set"):
+            return self._set_option()
         token = self.peek()
         # ANALYZE is not a reserved word; accept it as a bare ident.
         if token.kind == "ident" and token.value.lower() == "analyze":
@@ -168,6 +170,20 @@ class Parser:
             return self._analyze_workload()
         raise ParseError("cannot parse statement starting with %r"
                          % (token.value,), token.pos)
+
+    def _set_option(self):
+        """``SET dotted.option.name = value`` — session knobs."""
+        self.expect_kw("set")
+        parts = [self.expect_ident()]
+        while self.accept("punct", "."):
+            parts.append(self.expect_ident())
+        self.expect("op", "=")
+        token = self.advance()
+        if token.kind not in ("ident", "kw", "string", "number"):
+            raise ParseError("expected a value after SET %s ="
+                             % ".".join(parts), token.pos)
+        return ast.SetOptionStmt(name=".".join(parts).lower(),
+                                 value=str(token.value))
 
     def _analyze_workload(self):
         token = self.advance()
@@ -429,9 +445,17 @@ class Parser:
         table = self.expect_ident()
         self.expect("punct", "(")
         columns = [self._column_def()]
+        primary_key = None
         while self.accept("punct", ","):
+            if self._peek_word("primary"):
+                primary_key = self._primary_key_clause(primary_key)
+                continue
             columns.append(self._column_def())
         self.expect("punct", ")")
+        # Also accepted as a trailing clause: CREATE TABLE t (...) PRIMARY
+        # KEY (k) [STORED AS ...].
+        if self._peek_word("primary"):
+            primary_key = self._primary_key_clause(primary_key)
         partition_columns = []
         if self.accept_kw("partitioned"):
             self.expect_kw("by")
@@ -458,7 +482,27 @@ class Parser:
         return ast.CreateTableStmt(table=table, columns=columns,
                                    storage=storage, properties=properties,
                                    if_not_exists=if_not_exists,
-                                   partition_columns=partition_columns)
+                                   partition_columns=partition_columns,
+                                   primary_key=primary_key)
+
+    def _peek_word(self, word):
+        token = self.peek()
+        return token.kind == "ident" and token.value.lower() == word
+
+    def _primary_key_clause(self, existing):
+        token = self.advance()                       # PRIMARY
+        if existing is not None:
+            raise ParseError("duplicate PRIMARY KEY clause", token.pos)
+        if not self._peek_word("key"):
+            raise ParseError("expected KEY after PRIMARY", self.peek().pos)
+        self.advance()
+        self.expect("punct", "(")
+        name = self.expect_ident()
+        if self.check("punct", ","):
+            raise ParseError("composite PRIMARY KEY is not supported",
+                             self.peek().pos)
+        self.expect("punct", ")")
+        return name.lower()
 
     def _create_view(self):
         if_not_exists = False

@@ -84,6 +84,10 @@ class HiveSession:
         self.views = {}
         self._dml_subquery_jobs = []
         self._stmt_depth = 0
+        #: SELECT routing: "cost" consults the cost model per statement,
+        #: "lookup" forces the LOOKUP plan (erroring when ineligible),
+        #: "scan" forces MapReduce.  ``SET dualtable.plan = ...``.
+        self.plan_mode = "cost"
         # Server attachment (repro.server).  `current_txn` is the
         # statement transaction the server is running through this
         # engine — DualTable EDIT commits defer their publish to it;
@@ -230,6 +234,8 @@ class HiveSession:
             return analyze_workload(self, apply=stmt.apply)
         if isinstance(stmt, ast.AlterDualTableStmt):
             return self._alter_dualtable(stmt)
+        if isinstance(stmt, ast.SetOptionStmt):
+            return self._set_option(stmt)
         if isinstance(stmt, ast.ShowSessionsStmt):
             if self.server is None:
                 raise AnalysisError(
@@ -312,6 +318,18 @@ class HiveSession:
             columns = columns + list(stmt.partition_columns)
             properties["partition.columns"] = ",".join(
                 name for name, _ in stmt.partition_columns)
+        if stmt.primary_key is not None:
+            if storage != "dualtable":
+                raise AnalysisError(
+                    "PRIMARY KEY requires STORED AS DUALTABLE (the "
+                    "LOOKUP plan probes the attached table; got %s)"
+                    % storage.upper())
+            names = [name.lower() for name, _ in columns]
+            if stmt.primary_key not in names:
+                raise AnalysisError(
+                    "PRIMARY KEY column %r is not in the column list"
+                    % stmt.primary_key)
+            properties["dualtable.primary_key"] = stmt.primary_key
         self.metastore.create_table(stmt.table, columns, storage=storage,
                                     properties=properties,
                                     if_not_exists=stmt.if_not_exists)
@@ -355,6 +373,26 @@ class HiveSession:
         return QueryResult(plan="alter-dualtable",
                            detail={"table": info.name,
                                    "options": applied})
+
+    #: session options settable via ``SET name = value``.
+    SESSION_OPTIONS = {"dualtable.plan": ("cost", "lookup", "scan")}
+
+    def _set_option(self, stmt):
+        """``SET dualtable.plan = cost|lookup|scan`` — SELECT routing."""
+        allowed = self.SESSION_OPTIONS.get(stmt.name)
+        if allowed is None:
+            raise AnalysisError(
+                "unknown session option %r (settable: %s)"
+                % (stmt.name, ", ".join(sorted(self.SESSION_OPTIONS))))
+        value = str(stmt.value).lower()
+        if value not in allowed:
+            raise AnalysisError(
+                "bad value %r for %s (choose from %s)"
+                % (stmt.value, stmt.name, "/".join(allowed)))
+        self.plan_mode = value
+        self.cluster.metrics.incr("session.set_option")
+        return QueryResult(plan="set",
+                           detail={"name": stmt.name, "value": value})
 
     def _drop_partition(self, stmt):
         info = self.metastore.table(stmt.table)
@@ -416,10 +454,22 @@ class HiveSession:
     def _select(self, stmt):
         executor = SelectExecutor(self)
         result = executor.run(stmt)
-        sim = sum(job.sim_seconds for job in executor.jobs)
+        sim = (sum(job.sim_seconds for job in executor.jobs)
+               + executor.lookup_seconds)
+        if executor.lookup_details and not executor.jobs:
+            plan = "lookup"
+        elif executor.lookup_details:
+            plan = "select(%d jobs)+lookup" % len(executor.jobs)
+        else:
+            plan = "select(%d jobs)" % len(executor.jobs)
+        detail = {}
+        if executor.lookup_details:
+            detail = dict(executor.lookup_details[0])
+            if len(executor.lookup_details) > 1:
+                detail["lookups"] = list(executor.lookup_details)
         return QueryResult(names=result.names, rows=result.rows,
                            sim_seconds=sim, jobs=executor.jobs,
-                           plan="select(%d jobs)" % len(executor.jobs))
+                           plan=plan, detail=detail)
 
     def view_query(self, name):
         """The stored query of a view, or None."""

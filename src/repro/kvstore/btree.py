@@ -167,6 +167,16 @@ class BTreeTable:
             yield row, self._view(cells, versions)
         self._charge_scan(nbytes, nrows)
 
+    def scan_silent(self, start_row=None, stop_row=None, versions=1):
+        """Uncharged :meth:`scan` for control-plane planning stats."""
+        lo = 0 if start_row is None else bisect.bisect_left(self._keys,
+                                                            start_row)
+        for idx in range(lo, len(self._keys)):
+            row = self._keys[idx]
+            if stop_row is not None and row >= stop_row:
+                break
+            yield row, self._view(self._rows[idx], versions)
+
     @staticmethod
     def _view(cells, versions):
         if versions == 1:

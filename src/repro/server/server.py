@@ -58,7 +58,7 @@ _READ_ONLY = (ast.SelectStmt, ast.UnionAllStmt, ast.DescribeStmt,
               ast.ShowMetricsStmt, ast.ShowTablesStmt,
               ast.ShowPartitionsStmt, ast.ShowCompactionsStmt,
               ast.ShowSessionsStmt, ast.ShowServerStatsStmt,
-              ast.ShowAdvisorStmt)
+              ast.ShowAdvisorStmt, ast.SetOptionStmt)
 
 
 def statement_tables(stmt):

@@ -165,6 +165,96 @@ class TestMidStatementInvalidation:
         assert fresh_rows(session) == expect
 
 
+class TestStripeIndexInvalidation:
+    """The LOOKUP plan's stripe min/max index lives in the delta cache
+    keyed by the attached table's name, so every invalidation path that
+    protects delta ranges must protect it too.  Each test warms the
+    index with a point LOOKUP, mutates through one path, and re-checks
+    the lookup answer against the same query with every cache dropped."""
+
+    ROWS3 = [(i, i * 10, "s%02d" % i) for i in range(40)]
+
+    def build(self, workers=1):
+        session = HiveSession(
+            profile=ClusterProfile.laptop(workers=workers))
+        session.execute(
+            "CREATE TABLE t (k int, v int, s string, PRIMARY KEY (k)) "
+            "STORED AS dualtable TBLPROPERTIES "
+            "('orc.rows_per_file' = '10', 'orc.stripe_rows' = '5', "
+            "'dualtable.mode' = 'edit')")
+        session.load_rows("t", self.ROWS3)
+        return session
+
+    def point(self, session, k):
+        session.execute("SET dualtable.plan = lookup")
+        try:
+            return session.execute(
+                "SELECT k, v, s FROM t WHERE k = %d" % k).rows
+        finally:
+            session.execute("SET dualtable.plan = cost")
+
+    def fresh_point(self, session, k):
+        session.cluster.orc_cache.clear()
+        session.cluster.delta_cache.clear()
+        return self.point(session, k)
+
+    def warmed(self, session, expect=(17, 170, "s17")):
+        rows = self.point(session, 17)
+        assert rows == [expect]
+        cache = session.cluster.delta_cache
+        assert any(key[1] == "stripe-index" for key in cache._entries)
+        return cache
+
+    def test_index_survives_cacheable_rereads(self):
+        session = self.build()
+        self.warmed(session)
+        assert self.point(session, 17) == [(17, 170, "s17")]
+
+    def test_index_dropped_by_dml(self):
+        session = self.build()
+        self.warmed(session)
+        session.execute("UPDATE t SET v = -1 WHERE k = 17")
+        assert self.point(session, 17) == [(17, -1, "s17")]
+        assert self.fresh_point(session, 17) == [(17, -1, "s17")]
+
+    def test_index_dropped_by_pk_moving_update(self):
+        """After ``SET k = ...`` the warmed index's pruning verdicts are
+        only safe because the pk-dirty probe is re-run — the moved row
+        must be found at its new key and gone from its old one."""
+        session = self.build()
+        self.warmed(session)
+        session.execute("UPDATE t SET k = 900 WHERE k = 17")
+        assert self.point(session, 900) == [(900, 170, "s17")]
+        assert self.point(session, 17) == []
+        assert self.fresh_point(session, 900) == [(900, 170, "s17")]
+
+    def test_index_dropped_by_compact(self):
+        session = self.build()
+        session.execute("UPDATE t SET v = 1 WHERE k < 20")
+        self.warmed(session, expect=(17, 1, "s17"))
+        session.execute("COMPACT TABLE t")
+        assert self.point(session, 17) == [(17, 1, "s17")]
+        assert self.fresh_point(session, 17) == [(17, 1, "s17")]
+
+    def test_index_dropped_by_insert_overwrite(self):
+        session = self.build()
+        self.warmed(session)
+        session.execute("INSERT OVERWRITE TABLE t "
+                        "VALUES (17, 5, 'new'), (99, 6, 'other')")
+        assert self.point(session, 17) == [(17, 5, "new")]
+        assert self.fresh_point(session, 17) == [(17, 5, "new")]
+
+    def test_index_dropped_by_region_crash(self):
+        session = self.build()
+        session.execute("UPDATE t SET v = 2 WHERE k = 17")
+        cache = self.warmed(session, expect=(17, 2, "s17"))
+        session.hbase.crash_region_server()
+        assert len(cache) == 0            # whole cache, index included
+        # WAL replay restores the delta; the rebuilt index must agree.
+        assert self.point(session, 17) == [(17, 2, "s17")]
+        assert self.fresh_point(session, 17) == [(17, 2, "s17")]
+
+
 class TestTrailingDeltas:
     def test_trailing_delta_is_counted_not_dropped_silently(self):
         """An attached entry beyond the last master row (e.g. left by a

@@ -12,10 +12,13 @@ import os
 
 import pytest
 
-from repro.faults.chaos import run_chaos_schedule, run_server_chaos_schedule
+from repro.faults.chaos import (run_chaos_schedule,
+                                run_lookup_chaos_schedule,
+                                run_server_chaos_schedule)
 
 N_SCHEDULES = int(os.environ.get("CHAOS_SCHEDULES", "50"))
 N_SERVER_SCHEDULES = int(os.environ.get("SERVER_CHAOS_SCHEDULES", "12"))
+N_LOOKUP_SCHEDULES = int(os.environ.get("LOOKUP_CHAOS_SCHEDULES", "30"))
 
 
 @pytest.mark.parametrize("seed", range(N_SCHEDULES))
@@ -63,6 +66,43 @@ def test_server_chaos_schedules_are_reproducible():
     assert a["fired"] == b["fired"]
     assert a["by_status"] == b["by_status"]
     assert a["final_total"] == b["final_total"]
+
+
+@pytest.mark.parametrize("seed", range(N_LOOKUP_SCHEDULES))
+def test_lookup_chaos_schedule_invariants(seed):
+    """LOOKUP-plan chaos: faults at ``lookup.index_read`` and
+    ``lookup.hbase_probe`` mid-point-read.
+
+    The runner asserts the load-bearing invariants itself: every forced
+    LOOKUP that hit a fault fell back to the MR scan plan with the
+    correct rows, every statement's output matched the dict oracle, and
+    the fallback counter equals the number of lookup faults fired (no
+    double-charged, half-run lookups).  Here we sanity-check the shape.
+    """
+    summary = run_lookup_chaos_schedule(seed)
+    assert summary["seed"] == seed
+    assert summary["statements"] == 10
+    assert summary["fallbacks"] <= summary["lookups"]
+
+
+def test_lookup_chaos_schedules_are_reproducible():
+    a = run_lookup_chaos_schedule(7)
+    b = run_lookup_chaos_schedule(7)
+    assert a["fired"] == b["fired"]
+    assert (a["lookups"], a["fallbacks"]) == (b["lookups"], b["fallbacks"])
+
+
+def test_lookup_chaos_coverage_across_seeds():
+    """The seed range must actually crash lookups and force fallbacks."""
+    fired, fallbacks = [], 0
+    for seed in range(min(N_LOOKUP_SCHEDULES, 20)):
+        summary = run_lookup_chaos_schedule(seed)
+        fired.extend(summary["fired"])
+        fallbacks += summary["fallbacks"]
+    lookup_points = {point for point, _ in fired
+                     if point.startswith("lookup.")}
+    assert lookup_points, "no lookup faults fired across the seed range"
+    assert fallbacks, "no scan fallback exercised across the seed range"
 
 
 def test_server_chaos_coverage_across_seeds():

@@ -217,6 +217,169 @@ def _fuzz_statement(rng, session, reference):
     return sql
 
 
+# ----------------------------------------------------------------------
+# LOOKUP-plan differential fuzz: the same seeded PK workload must be
+# byte-identical whichever plan serves the point reads.
+# ----------------------------------------------------------------------
+#: statements per LOOKUP fuzz run (CI can widen via the environment).
+N_LOOKUP_FUZZ = int(os.environ.get("LOOKUP_FUZZ_STATEMENTS", "200"))
+
+#: initial PK rows; SELECT keys are drawn from [0, 2 * LOOKUP_KEYS).
+LOOKUP_KEYS = 120
+
+
+def _lookup_fuzz_script(rng, n):
+    """A deterministic statement script over a PRIMARY KEY table.
+
+    Mixes eligible point/range/IN SELECTs with value updates, PK-moving
+    updates (which dirty stripe pruning), point deletes, inserts and
+    compactions.  Fresh keys are allocated monotonically above the
+    initial range so PK moves and inserts never collide.
+    """
+    script = []
+    next_key = 10 * LOOKUP_KEYS
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.30:
+            script.append(("point", rng.randrange(2 * LOOKUP_KEYS)))
+        elif roll < 0.40:
+            lo = rng.randrange(2 * LOOKUP_KEYS)
+            script.append(("range", lo, lo + rng.randint(1, 8)))
+        elif roll < 0.48:
+            keys = tuple(rng.randrange(2 * LOOKUP_KEYS)
+                         for _ in range(rng.randint(1, 4)))
+            script.append(("in", keys))
+        elif roll < 0.64:
+            lo = rng.randrange(2 * LOOKUP_KEYS)
+            script.append(("update_v", lo, lo + rng.randint(1, 10),
+                           rng.randint(-999, 999)))
+        elif roll < 0.72:
+            script.append(("update_pk", rng.randrange(2 * LOOKUP_KEYS),
+                           next_key))
+            next_key += 1
+        elif roll < 0.82:
+            script.append(("delete", rng.randrange(2 * LOOKUP_KEYS)))
+        elif roll < 0.92:
+            script.append(("insert", next_key, rng.randint(-999, 999)))
+            next_key += 1
+        else:
+            script.append(("compact",))
+    return script
+
+
+def _run_lookup_script(script, plan, engine, workers):
+    """One (plan, engine, workers) replay; returns what must be equal.
+
+    SELECT results are checked against a dict reference as they run;
+    the returned transcript plus the (cache-counter-free) metric and
+    ledger fingerprints let the caller assert cross-config identity.
+    """
+    session = HiveSession(
+        profile=ClusterProfile.laptop(workers=workers), engine=engine)
+    session.execute(
+        "CREATE TABLE t (k int, v int, PRIMARY KEY (k)) "
+        "STORED AS dualtable TBLPROPERTIES "
+        "('orc.rows_per_file' = '15', 'orc.stripe_rows' = '5', "
+        "'dualtable.mode' = 'edit')")
+    rows = [(i, i * 10) for i in range(LOOKUP_KEYS)]
+    session.load_rows("t", rows)
+    reference = dict(rows)
+    session.execute("SET dualtable.plan = %s" % plan)
+
+    def check_select(sql, expect):
+        result = session.execute(sql)
+        if plan == "lookup":
+            assert result.plan == "lookup", sql
+        else:
+            assert result.plan.startswith("select("), sql
+        assert sorted(result.rows) == expect, sql
+        transcript.append((sql, tuple(expect)))
+
+    transcript = []
+    for op in script:
+        kind = op[0]
+        if kind == "point":
+            k = op[1]
+            check_select("SELECT k, v FROM t WHERE k = %d" % k,
+                         [(k, reference[k])] if k in reference else [])
+        elif kind == "range":
+            _, lo, hi = op
+            check_select(
+                "SELECT k, v FROM t WHERE k BETWEEN %d AND %d" % (lo, hi),
+                sorted((k, v) for k, v in reference.items()
+                       if lo <= k <= hi))
+        elif kind == "in":
+            keys = op[1]
+            check_select(
+                "SELECT k, v FROM t WHERE k IN (%s)"
+                % ", ".join(str(k) for k in sorted(set(keys))),
+                sorted((k, reference[k]) for k in set(keys)
+                       if k in reference))
+        elif kind == "update_v":
+            _, lo, hi, value = op
+            session.execute(
+                "UPDATE t SET v = %d WHERE k >= %d AND k < %d"
+                % (value, lo, hi))
+            for k in reference:
+                if lo <= k < hi:
+                    reference[k] = value
+        elif kind == "update_pk":
+            _, old, new = op
+            session.execute("UPDATE t SET k = %d WHERE k = %d"
+                            % (new, old))
+            if old in reference:
+                reference[new] = reference.pop(old)
+        elif kind == "delete":
+            k = op[1]
+            session.execute("DELETE FROM t WHERE k = %d" % k)
+            reference.pop(k, None)
+        elif kind == "insert":
+            _, k, v = op
+            session.execute("INSERT INTO t VALUES (%d, %d)" % (k, v))
+            reference[k] = v
+        else:
+            session.execute("COMPACT TABLE t")
+    session.execute("SET dualtable.plan = cost")
+    final = session.execute("SELECT k, v FROM t").rows
+    assert sorted(final) == sorted(reference.items())
+    counters = {name: value
+                for name, value in session.cluster.metrics.counters.items()
+                if not name.startswith("cache.")}
+    return (transcript, tuple(sorted(final)),
+            session.cluster.ledger.snapshot(), counters)
+
+
+@pytest.mark.slow
+def test_lookup_plan_differential_fuzz():
+    """The seeded PK workload is invariant three ways at once:
+
+    * SELECT results and final table identical across every
+      (plan, engine, workers) combination;
+    * ledger and metric counters byte-identical across engine and
+      worker count *within* each plan (the totals necessarily differ
+      *between* plans — skipping MapReduce is the feature);
+    * per-statement oracle checks hold throughout (inside the runner).
+    """
+    script = _lookup_fuzz_script(random.Random(20260808), N_LOOKUP_FUZZ)
+    runs = {}
+    for plan in ("lookup", "scan"):
+        for engine in ("row", "vectorized"):
+            for workers in (1, 4):
+                runs[(plan, engine, workers)] = _run_lookup_script(
+                    script, plan, engine, workers)
+    baseline = runs[("lookup", "row", 1)]
+    for config, (transcript, final, ledger, counters) in runs.items():
+        assert transcript == baseline[0], config
+        assert final == baseline[1], config
+    for plan in ("lookup", "scan"):
+        _, _, ledger0, counters0 = runs[(plan, "row", 1)]
+        for engine in ("row", "vectorized"):
+            for workers in (1, 4):
+                _, _, ledger, counters = runs[(plan, engine, workers)]
+                assert ledger == ledger0, (plan, engine, workers)
+                assert counters == counters0, (plan, engine, workers)
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("workers", [1, 4])
 def test_differential_fuzz_dml_stream(workers):
