@@ -35,6 +35,13 @@ READ_FACTOR_MISMATCH = 2.0
 #: minimum LOOKUP-eligible statements forced through MR before the
 #: routing rule speaks up (``SET dualtable.plan = scan`` left on).
 MIN_LOOKUP_ELIGIBLE = 3
+#: hottest-shard heat vs median-shard heat above which a sharded table
+#: reads as skewed (heat = routed lookups + DML delta entries since the
+#: last rebalance).
+SHARD_SKEW_RATIO = 3.0
+#: minimum hottest-shard heat before the skew rule speaks up — a handful
+#: of point reads on a cold table is placement noise, not a hot spot.
+MIN_SHARD_HEAT = 8
 
 
 class WorkloadAdvisor:
@@ -113,7 +120,40 @@ class WorkloadAdvisor:
         out.extend(self._drift_rule(p))
         out.extend(self._regret_rule(p))
         out.extend(self._lookup_routing_rule(p))
+        out.extend(self._shard_skew_rule(p))
         return out
+
+    def _shard_skew_rule(self, p):
+        """One region server absorbing most of a sharded table's traffic
+        — heat is routed LOOKUPs plus DML delta entries since the last
+        rebalance, so a skewed key range shows up here long before the
+        ledger does."""
+        if p.shard_count < 2 or not p.shard_heats:
+            return []
+        heats = sorted(p.shard_heats)
+        hottest = heats[-1]
+        median = heats[len(heats) // 2] if len(heats) % 2 \
+            else (heats[len(heats) // 2 - 1] + heats[len(heats) // 2]) / 2
+        if hottest < MIN_SHARD_HEAT or hottest <= SHARD_SKEW_RATIO * median:
+            return []
+        hot_shard = list(p.shard_heats).index(hottest)
+        return [Finding(
+            code="shard-skew",
+            severity="warn",
+            subject=p.table,
+            summary=("shard %d absorbs heat %d vs median %.1f across %d "
+                     "shards (>%.0fx) — rebalance to move its hottest "
+                     "bucket to the coldest shard"
+                     % (hot_shard, hottest, median, p.shard_count,
+                        SHARD_SKEW_RATIO)),
+            evidence={"shard_heats": list(p.shard_heats),
+                      "hot_shard": hot_shard,
+                      "hottest": hottest,
+                      "median": median,
+                      "ratio_threshold": SHARD_SKEW_RATIO},
+            remediation=[
+                "ALTER TABLE %s REBALANCE" % p.table,
+            ])]
 
     def _lookup_routing_rule(self, p):
         """PK point reads routed through MapReduce despite a cheaper

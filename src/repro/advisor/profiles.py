@@ -67,6 +67,9 @@ class TableProfile:
     rel_error_max: float = 0.0
     # -- EWMA (shared with the maintenance daemon) ---------------------
     reads_per_dml: float = 1.0
+    # -- sharding (dualtable-sharded only) -----------------------------
+    shard_count: int = 0
+    shard_heats: list = field(default_factory=list)
     # -- distributions (for the dashboard) -----------------------------
     scan_bytes_hist: dict = field(default_factory=dict)
     dml_seconds_hist: dict = field(default_factory=dict)
@@ -106,6 +109,8 @@ class TableProfile:
             "rel_error_max": round(self.rel_error_max, 6),
             "reads_per_dml": round(self.reads_per_dml, 6),
             "scan_dml_ratio": round(self.scan_dml_ratio, 6),
+            "shard_count": self.shard_count,
+            "shard_heats": list(self.shard_heats),
             "scan_bytes_hist": self.scan_bytes_hist,
             "dml_seconds_hist": self.dml_seconds_hist,
         }
@@ -159,6 +164,9 @@ def build_profile(session, name):
         rel_error_mean=rel_error.mean if rel_error else 0.0,
         rel_error_max=(rel_error.vmax or 0.0) if rel_error else 0.0,
         reads_per_dml=stats.reads_per_dml,
+        shard_count=getattr(handler, "num_shards", 0),
+        shard_heats=(list(handler.shard_heats())
+                     if hasattr(handler, "shard_heats") else []),
         scan_bytes_hist=_hist_summary(scan_bytes),
         dml_seconds_hist=_hist_summary(h("dualtable.dml_seconds.%s")),
     )
@@ -168,4 +176,5 @@ def build_profiles(session):
     """Profiles of every DualTable in the catalog, sorted by name."""
     return [build_profile(session, name)
             for name in sorted(session.metastore.list_tables())
-            if session.metastore.table(name).storage == "dualtable"]
+            if session.metastore.table(name).storage
+            in ("dualtable", "dualtable-sharded")]

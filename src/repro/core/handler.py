@@ -27,7 +27,7 @@ from repro.core.attached import AttachedTable
 from repro.core.cost_model import CostModel
 from repro.core.editlog import (EditBatch, recover_edit_logs,
                                 run_with_retries)
-from repro.core.lookup import run_lookup
+from repro.core.lookup import plan_lookup, run_lookup
 from repro.core.master import MasterTable
 from repro.core.metadata import DualTableMetadata
 from repro.core.record_id import RECORD_ID_BYTES
@@ -344,6 +344,14 @@ class DualTableHandler(StorageHandler):
             metrics.incr("unionread.trailing_deltas",
                          stats["trailing_deltas"])
 
+    def attached_for_split(self, split):
+        """The Attached Table holding one split's deltas.
+
+        A method so sharded handlers can hand back the owning child's
+        store; the single-table answer is the table's own.
+        """
+        return self.attached
+
     def _projection_map(self, projection):
         schema = self.schema
         if projection is None:
@@ -354,6 +362,15 @@ class DualTableHandler(StorageHandler):
     # ------------------------------------------------------------------
     # LOOKUP (the third plan type: point reads without MapReduce).
     # ------------------------------------------------------------------
+    def plan_lookup(self, ranges, projection=None, hit_faults=True):
+        """Plan a LOOKUP read (or None if ineligible).
+
+        A method so sharded handlers can route the plan to the owning
+        shard; the single-table implementation is the module function.
+        """
+        return plan_lookup(self, ranges, projection=projection,
+                           hit_faults=hit_faults)
+
     def execute_lookup(self, plan, engine="row", batch_rows=None):
         """Run one planned LOOKUP read at sub-job cost (no MR planner).
 

@@ -304,6 +304,168 @@ def run_lookup_chaos_schedule(seed, n_statements=10, num_rows=48):
     return summary
 
 
+#: injection points armed for *sharded* chaos.  A separate dict (same
+#: rationale as SERVER_CHAOS_POINTS): ``region_crash`` on the LOOKUP
+#: probe and the EditBatch puts simulates a region server dying
+#: mid-query / mid-commit (replica failover = WAL replay on the next
+#: access), while the ``kill`` kinds land inside the rebalance 2PC so
+#: both roll-forward and roll-back recovery run under random schedules.
+SHARD_CHAOS_POINTS = {
+    "lookup.hbase_probe": ("region_crash",),
+    "hbase.put": ("region_crash",),
+    "dualtable.rebalance.spill": ("kill", "crash"),
+    "dualtable.rebalance.manifest": ("kill", "crash"),
+    "dualtable.rebalance.apply": ("kill", "crash"),
+    "dualtable.rebalance.cleanup": ("kill",),
+}
+
+
+def build_shard_chaos_session(num_rows=48, rows_per_file=12, shards=4):
+    """A sharded PRIMARY KEY DualTable session shaped for fault testing."""
+    from repro.cluster import ClusterProfile
+    from repro.hive import HiveSession
+
+    profile = ClusterProfile.laptop(num_workers=3)
+    session = HiveSession(profile=profile)
+    session.execute(
+        "CREATE TABLE t (k int, v int, PRIMARY KEY (k)) "
+        "STORED AS DUALTABLE SHARDED BY (k) INTO %d "
+        "TBLPROPERTIES ('orc.rows_per_file' = '%d', "
+        "'orc.stripe_rows' = '6')" % (shards, rows_per_file))
+    rows = [(i, i * 10) for i in range(num_rows)]
+    session.load_rows("t", rows)
+    return session, dict(rows)
+
+
+def shard_table_state(session):
+    """A comparable snapshot of a sharded table's logical + physical state."""
+    handler = session.table("t").handler
+    with session.cluster.faults.paused():
+        rows = tuple(session.execute("SELECT k, v FROM t ORDER BY k").rows)
+        files = tuple(handler.master.file_paths())
+        assignment = tuple(handler.shard_map.assignment)
+        attached = tuple(
+            (child.table.name, rid, delta.deleted,
+             tuple(sorted(delta.updates.items())))
+            for child in handler.children
+            for rid, delta in child.attached.scan_range())
+    return files, rows, assignment, attached
+
+
+def run_shard_chaos_schedule(seed, n_statements=12, num_rows=48, shards=4):
+    """One seeded shard-kill chaos experiment; returns a summary dict.
+
+    Interleaves routed point reads, range DML and ``ALTER TABLE ...
+    REBALANCE`` under a random fault plan over
+    :data:`SHARD_CHAOS_POINTS`.  The robustness bar:
+
+    * a region server killed mid-LOOKUP falls back to the scatter-gather
+      scan — the statement still returns exactly the oracle's rows, and
+      the next attached access replays the WAL (replica failover);
+    * a region server killed mid-commit is absorbed by the EditBatch
+      retry loop — the statement commits and the oracle applies;
+    * a ``kill`` inside the rebalance 2PC either rolls forward (manifest
+      durable) or rolls back (spill only) on ``recover()`` — and since a
+      rebalance only *moves* buckets, the oracle is unchanged either
+      way, so oracle equality after recovery proves no row was lost or
+      duplicated mid-move;
+    * the full-scan oracle check passes after every statement and
+      ``recover()`` is idempotent at the end.
+
+    Any failure reproduces from its seed alone.
+    """
+    rng = make_rng("shard-chaos", seed)
+    session, oracle = build_shard_chaos_session(num_rows=num_rows,
+                                                shards=shards)
+    handler = session.table("t").handler
+    faults = session.cluster.faults
+    schedule = []
+    for _ in range(rng.randint(1, 3)):
+        point = rng.choice(sorted(SHARD_CHAOS_POINTS))
+        kind = rng.choice(SHARD_CHAOS_POINTS[point])
+        schedule.append(Fault(point=point, nth_hit=rng.randint(1, 4),
+                              kind=kind))
+    faults.install(FaultPlan(schedule))
+    summary = {"seed": seed, "statements": n_statements, "lookups": 0,
+               "rebalances": 0, "failed": 0, "rolled_forward": 0,
+               "fired": []}
+
+    def recover_after_failure():
+        with faults.paused():
+            outcome = handler.recover()
+        if any(o == "rolled_forward" for _, o in outcome["dml"]):
+            summary["rolled_forward"] += 1
+            return True
+        return False
+
+    try:
+        for _ in range(n_statements):
+            roll = rng.random()
+            if roll < 0.4:
+                k = rng.randrange(num_rows)
+                session.execute("SET dualtable.plan = lookup")
+                try:
+                    result = session.execute(
+                        "SELECT k, v FROM t WHERE k = %d" % k)
+                finally:
+                    session.execute("SET dualtable.plan = cost")
+                expected = [(k, oracle[k])] if k in oracle else []
+                assert result.rows == expected, (
+                    "seed %r: lookup k=%d returned %r, oracle %r"
+                    % (seed, k, result.rows, expected))
+                summary["lookups"] += 1
+            elif roll < 0.65:
+                lo = rng.randrange(num_rows)
+                hi = min(num_rows,
+                         lo + rng.randint(1, max(2, num_rows // 4)))
+                delta = rng.randint(1, 99)
+                sql = ("UPDATE t SET v = v + %d WHERE k >= %d AND k < %d"
+                       % (delta, lo, hi))
+                committed = True
+                try:
+                    session.execute(sql)
+                except ReproError:
+                    summary["failed"] += 1
+                    committed = recover_after_failure()
+                if committed:
+                    for key in oracle:
+                        if lo <= key < hi:
+                            oracle[key] += delta
+            elif roll < 0.8:
+                k = rng.randrange(num_rows)
+                committed = True
+                try:
+                    session.execute("DELETE FROM t WHERE k = %d" % k)
+                except ReproError:
+                    summary["failed"] += 1
+                    committed = recover_after_failure()
+                if committed:
+                    oracle.pop(k, None)
+            else:
+                # A rebalance moves one bucket between shards; the
+                # logical contents are invariant whether it commits,
+                # rolls forward or rolls back.
+                try:
+                    session.execute("ALTER TABLE t REBALANCE")
+                    summary["rebalances"] += 1
+                except ReproError:
+                    summary["failed"] += 1
+                    recover_after_failure()
+            verify_against_oracle(session, oracle)
+    finally:
+        summary["fired"] = [(f.point, f.kind) for f, _ in faults.fired]
+        faults.uninstall()
+    verify_against_oracle(session, oracle)
+    before = shard_table_state(session)
+    handler.recover()
+    once = shard_table_state(session)
+    handler.recover()
+    twice = shard_table_state(session)
+    assert before == once == twice, (
+        "recover() is not idempotent for seed %r" % seed)
+    return summary
+
+
 def run_chaos_schedule(seed, n_statements=6, num_rows=48):
     """Run one seeded schedule end-to-end; returns a summary dict.
 

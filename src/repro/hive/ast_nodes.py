@@ -209,6 +209,8 @@ class CreateTableStmt(Statement):
     if_not_exists: bool = False
     partition_columns: list = field(default_factory=list)
     primary_key: str = None     # single PK column (LOOKUP eligibility)
+    shard_key: str = None       # SHARDED BY (k): hash-partition column
+    shard_count: int = None     # INTO n: number of region servers
 
 
 @dataclass
@@ -249,6 +251,21 @@ class AlterAutoCompactStmt(Statement):
     table: str
     enabled: bool = True
     options: dict = field(default_factory=dict)
+
+
+@dataclass
+class ShowShardsStmt(Statement):
+    """``SHOW SHARDS t``: per-shard rows/bytes/files/hotness."""
+
+    table: str = None
+
+
+@dataclass
+class AlterRebalanceStmt(Statement):
+    """``ALTER TABLE t REBALANCE`` — move the hottest bucket off the
+    hottest shard (deterministic 2PC move; no-op when balanced)."""
+
+    table: str
 
 
 @dataclass

@@ -449,6 +449,12 @@ class SelectExecutor:
         env = Env()
         env.add_schema(projection, alias=alias)
         ranges = extract_ranges(side_filter) if side_filter is not None else {}
+        # Repeatable reads: record the table in the server transaction at
+        # scan-build time, so the commit-log snapshot taken at dispatch
+        # covers every table the statement physically reads.
+        txn = getattr(self.session, "current_txn", None)
+        if txn is not None:
+            txn.touch(info.name)
         return ScanSource(handler=info.handler, alias=alias,
                           projection=projection, env=env,
                           filter_expr=side_filter, ranges=ranges)
@@ -572,7 +578,9 @@ class SelectExecutor:
 
         job = Job(name="join", splits=splits, map_fn=map_fn,
                   reduce_fn=reduce_fn,
-                  num_reducers=self.cluster.profile.total_reduce_slots)
+                  num_reducers=self.cluster.profile.total_reduce_slots,
+                  properties={"shard_fanout": max(self._fanout(left),
+                                                  self._fanout(right))})
         result = self.runner.run(job)
         self.jobs.append(result)
         rows = result.outputs
@@ -671,7 +679,8 @@ class SelectExecutor:
                     yield tuple(fn(values) for fn in compiled)
 
         job = Job(name="select-scan", splits=self._splits(relation),
-                  map_fn=map_fn, reduce_fn=None)
+                  map_fn=map_fn, reduce_fn=None,
+                  properties={"shard_fanout": self._fanout(relation)})
         result = self.runner.run(job)
         self.jobs.append(result)
         return names, result.outputs
@@ -685,6 +694,13 @@ class SelectExecutor:
                 and getattr(relation.handler, "primary_key", None) is not None
                 and hasattr(relation.handler, "execute_lookup"))
 
+    @staticmethod
+    def _fanout(relation):
+        """Scatter-gather width for this relation's jobs (makespan only)."""
+        if isinstance(relation, ScanSource):
+            return getattr(relation.handler, "shard_fanout", 1)
+        return 1
+
     def _try_lookup(self, relation):
         """Route an eligible dualtable scan through the LOOKUP plan.
 
@@ -696,10 +712,6 @@ class SelectExecutor:
         before the first charged byte, so the fallback never double
         charges.
         """
-        # Imported lazily: repro.core imports the session module for
-        # QueryResult, so a top-level import would be circular.
-        from repro.core.lookup import plan_lookup
-
         mode = self.plan_mode
         if not isinstance(relation, ScanSource):
             return None
@@ -711,13 +723,13 @@ class SelectExecutor:
                     "KEY lookup path" % relation.alias)
             return None
         if mode == "scan":
-            if plan_lookup(handler, relation.ranges, relation.projection,
-                           hit_faults=False) is not None:
+            if handler.plan_lookup(relation.ranges, relation.projection,
+                                   hit_faults=False) is not None:
                 handler.note_lookup_eligible_scan()
             return None
         try:
-            plan = plan_lookup(handler, relation.ranges,
-                               relation.projection)
+            plan = handler.plan_lookup(relation.ranges,
+                                       relation.projection)
         except FaultInjectedError as exc:
             if exc.fatal:
                 raise
@@ -814,7 +826,8 @@ class SelectExecutor:
 
         job = Job(name="groupby", splits=self._splits(relation),
                   map_fn=map_fn, reduce_fn=reduce_fn,
-                  num_reducers=self.cluster.profile.total_reduce_slots)
+                  num_reducers=self.cluster.profile.total_reduce_slots,
+                  properties={"shard_fanout": self._fanout(relation)})
         result = self.runner.run(job)
         self.jobs.append(result)
         if not group_by and not result.outputs:

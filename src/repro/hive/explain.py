@@ -215,12 +215,10 @@ def _explain_scan(session, table_ref, where, needed, lines, indent):
 
 def _explain_lookup(session, handler, ranges, projection, lines, indent):
     """LOOKUP-plan eligibility and cost verdict (uncharged planning)."""
-    from repro.core.lookup import plan_lookup
-
     pad = _pad(indent)
     mode = getattr(session, "plan_mode", "cost")
-    plan = plan_lookup(handler, ranges, projection=projection,
-                       hit_faults=False)
+    plan = handler.plan_lookup(ranges, projection=projection,
+                               hit_faults=False)
     if plan is None:
         if mode == "lookup":
             lines.append(pad + "  plan: LOOKUP forced but ineligible "

@@ -329,10 +329,12 @@ def _merge_dualtable(session, info, stmt, target_alias, target_keys,
     key_fns, assigns = _compiled_parts(info, stmt, target_alias,
                                        target_keys, source_env,
                                        projection=projection)
-    attached = handler.attached
     splits = handler.scan_splits(projection, ranges=None)
 
     def map_fn(split, ctx):
+        # Sharded tables resolve the split's deltas to the owning
+        # child's Attached Table; single tables hand back their own.
+        attached = handler.attached_for_split(split)
         for record_id, values in handler.read_split_with_rids(split, ctx):
             key = tuple(fn(values) for fn in key_fns)
             source_row = source_index.get(key)

@@ -145,6 +145,9 @@ class Parser:
             if token.kind == "ident" and token.value.lower() == "compactions":
                 self.advance()
                 return ast.ShowCompactionsStmt()
+            if token.kind == "ident" and token.value.lower() == "shards":
+                self.advance()
+                return ast.ShowShardsStmt(table=self.expect_ident())
             if token.kind == "ident" and token.value.lower() == "sessions":
                 self.advance()
                 return ast.ShowSessionsStmt()
@@ -464,10 +467,15 @@ class Parser:
             while self.accept("punct", ","):
                 partition_columns.append(self._column_def())
             self.expect("punct", ")")
+        shard_key, shard_count = self._sharded_clause(None, None)
         storage = "orc"
         if self.accept_kw("stored"):
             self.expect_kw("as")
             storage = self.expect_ident().lower()
+        # Also accepted after STORED AS: ... STORED AS dualtable SHARDED
+        # BY (k) INTO 4 [TBLPROPERTIES ...].
+        shard_key, shard_count = self._sharded_clause(shard_key,
+                                                      shard_count)
         properties = {}
         if self.accept_kw("tblproperties"):
             self.expect("punct", "(")
@@ -483,7 +491,31 @@ class Parser:
                                    storage=storage, properties=properties,
                                    if_not_exists=if_not_exists,
                                    partition_columns=partition_columns,
-                                   primary_key=primary_key)
+                                   primary_key=primary_key,
+                                   shard_key=shard_key,
+                                   shard_count=shard_count)
+
+    def _sharded_clause(self, shard_key, shard_count):
+        """``SHARDED BY (k) INTO n`` (SHARDED is not reserved)."""
+        if not self._peek_word("sharded"):
+            return shard_key, shard_count
+        token = self.advance()
+        if shard_key is not None:
+            raise ParseError("duplicate SHARDED BY clause", token.pos)
+        self.expect_kw("by")
+        self.expect("punct", "(")
+        shard_key = self.expect_ident().lower()
+        if self.check("punct", ","):
+            raise ParseError("composite SHARDED BY key is not supported",
+                             self.peek().pos)
+        self.expect("punct", ")")
+        self.expect_kw("into")
+        count_token = self.expect("number")
+        shard_count = int(count_token.value)
+        if shard_count < 1:
+            raise ParseError("SHARDED ... INTO needs a positive shard "
+                             "count", count_token.pos)
+        return shard_key, shard_count
 
     def _peek_word(self, word):
         token = self.peek()
@@ -540,6 +572,9 @@ class Parser:
         table = self.expect_ident()
         if self.accept_kw("set"):
             return self._alter_autocompact(table)
+        if self._peek_word("rebalance"):
+            self.advance()
+            return ast.AlterRebalanceStmt(table=table)
         self.expect_kw("drop")
         self.expect_kw("partition")
         self.expect("punct", "(")

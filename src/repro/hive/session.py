@@ -124,6 +124,7 @@ class HiveSession:
         # keeps `HiveSession` self-contained for users.
         from repro.core import handler as _dualtable_handler  # noqa: F401
         from repro.acid import handler as _acid_handler       # noqa: F401
+        from repro.shard import sharded as _sharded_handler   # noqa: F401
 
     # ------------------------------------------------------------------
     # Engine configuration (wall-clock-only knobs).
@@ -273,6 +274,10 @@ class HiveSession:
             return QueryResult(plan="drop")
         if isinstance(stmt, ast.CompactStmt):
             return self._compact(stmt)
+        if isinstance(stmt, ast.ShowShardsStmt):
+            return self._show_shards(stmt)
+        if isinstance(stmt, ast.AlterRebalanceStmt):
+            return self._alter_rebalance(stmt)
         if isinstance(stmt, ast.AlterAutoCompactStmt):
             return self.maintenance.configure(stmt.table, stmt.enabled,
                                               stmt.options)
@@ -330,6 +335,22 @@ class HiveSession:
                     "PRIMARY KEY column %r is not in the column list"
                     % stmt.primary_key)
             properties["dualtable.primary_key"] = stmt.primary_key
+        if stmt.shard_key is not None:
+            if storage != "dualtable":
+                raise AnalysisError(
+                    "SHARDED BY requires STORED AS DUALTABLE (got %s)"
+                    % storage.upper())
+            names = [name.lower() for name, _ in columns]
+            if stmt.shard_key not in names:
+                raise AnalysisError(
+                    "SHARDED BY column %r is not in the column list"
+                    % stmt.shard_key)
+            count = int(stmt.shard_count or 1)
+            if count < 1:
+                raise AnalysisError("SHARDED ... INTO needs n >= 1")
+            storage = "dualtable-sharded"
+            properties["shard.key"] = stmt.shard_key
+            properties["shard.count"] = count
         self.metastore.create_table(stmt.table, columns, storage=storage,
                                     properties=properties,
                                     if_not_exists=stmt.if_not_exists)
@@ -344,7 +365,8 @@ class HiveSession:
         """
         info = self.metastore.table(stmt.table)
         handler = info.handler
-        if getattr(handler, "kind", None) != "dualtable":
+        if getattr(handler, "kind", None) not in ("dualtable",
+                                                  "dualtable-sharded"):
             raise AnalysisError(
                 "ALTER TABLE ... SET DUALTABLE requires a DualTable "
                 "table (got %s stored as %s)" % (info.name, info.storage))
@@ -355,6 +377,8 @@ class HiveSession:
                 if factor < 1:
                     raise AnalysisError("read_factor must be >= 1")
                 handler.read_factor = factor
+                for child in getattr(handler, "children", ()):
+                    child.read_factor = factor
                 info.properties["dualtable.read_factor"] = factor
             elif key == "mode":
                 mode = str(value).lower()
@@ -363,6 +387,8 @@ class HiveSession:
                         "bad dualtable mode %r (cost/edit/overwrite)"
                         % (value,))
                 handler.mode = mode
+                for child in getattr(handler, "children", ()):
+                    child.mode = mode
                 info.properties["dualtable.mode"] = mode
             else:
                 raise AnalysisError(
@@ -627,7 +653,9 @@ class HiveSession:
                     yield values
 
         job = Job(name="update-overwrite", splits=splits, map_fn=map_fn,
-                  reduce_fn=None)
+                  reduce_fn=None,
+                  properties={"shard_fanout":
+                              getattr(handler, "shard_fanout", 1)})
         result = self.runner.run(job)
         rows = [info.schema.coerce_row(r) for r in result.outputs]
         if affected is not None:
@@ -661,7 +689,9 @@ class HiveSession:
                     yield values
 
         job = Job(name="delete-overwrite", splits=splits, map_fn=map_fn,
-                  reduce_fn=None)
+                  reduce_fn=None,
+                  properties={"shard_fanout":
+                              getattr(handler, "shard_fanout", 1)})
         result = self.runner.run(job)
         rows = [info.schema.coerce_row(r) for r in result.outputs]
         if affected is not None:
@@ -748,7 +778,8 @@ class HiveSession:
         info = self.metastore.table(stmt.table)
         handler = info.handler
         if hasattr(handler, "execute_compact"):
-            if getattr(handler, "kind", None) == "dualtable":
+            if getattr(handler, "kind", None) in ("dualtable",
+                                                  "dualtable-sharded"):
                 result = handler.execute_compact(
                     self, major=stmt.major, partial=stmt.partial,
                     max_files=stmt.max_files)
@@ -766,6 +797,29 @@ class HiveSession:
         raise AnalysisError(
             "table %s (storage %s) does not support COMPACT"
             % (info.name, info.storage))
+
+    # ------------------------------------------------------------------
+    # Sharding (SHOW SHARDS / ALTER TABLE ... REBALANCE).
+    # ------------------------------------------------------------------
+    def _sharded_handler(self, table, verb):
+        info = self.metastore.table(table)
+        handler = info.handler
+        if getattr(handler, "kind", None) != "dualtable-sharded":
+            raise AnalysisError(
+                "%s requires a sharded DualTable (got %s stored as %s)"
+                % (verb, info.name, info.storage))
+        return handler
+
+    def _show_shards(self, stmt):
+        from repro.shard import SHARD_COLUMNS
+        handler = self._sharded_handler(stmt.table, "SHOW SHARDS")
+        return QueryResult(names=list(SHARD_COLUMNS),
+                           rows=handler.shard_rows(), plan="show-shards")
+
+    def _alter_rebalance(self, stmt):
+        handler = self._sharded_handler(stmt.table,
+                                        "ALTER TABLE ... REBALANCE")
+        return handler.execute_rebalance(self)
 
     # ------------------------------------------------------------------
     # Cost helpers.

@@ -86,7 +86,8 @@ class AutoCompactionDaemon:
 
         info = self.session.metastore.table(table)
         handler = info.handler
-        if getattr(handler, "kind", None) != "dualtable":
+        if getattr(handler, "kind", None) not in ("dualtable",
+                                                  "dualtable-sharded"):
             raise AnalysisError(
                 "AUTOCOMPACT requires a DualTable table (got %s stored "
                 "as %s)" % (info.name, info.storage))
@@ -160,14 +161,27 @@ class AutoCompactionDaemon:
             return
         cluster.faults.hit("dualtable.autocompact.tick", table=name)
         stats = self.collector.refresh(name, handler.read_factor)
-        if handler.attached.is_empty():
+        # Sharded tables expose one compaction unit per shard, so a hot
+        # shard folds alone; single tables are their own unit.
+        units = getattr(handler, "compaction_units", None)
+        targets = units() if units is not None else [handler]
+        if all(t.attached.is_empty() for t in targets):
             return      # uncharged fast path: nothing to fold
         self._last_decision_clock[name] = cluster.clock.now
         horizon = float(options.get("horizon", 0.0)) or stats.horizon
+        for target in targets:
+            if target._compacting or target.attached.is_empty():
+                continue
+            self._tick_target(target, options, horizon)
+
+    def _tick_target(self, target, options, horizon):
+        """Decide + (maybe) compact one compaction unit."""
+        cluster = self.session.cluster
+        name = target.table.name
         with cluster.tracer.span("phase", "autocompact:decide",
                                  table=name) as span:
             with cluster.cost_scope("maintenance") as scope:
-                policy = CompactionPolicy(handler, options)
+                policy = CompactionPolicy(target, options)
                 decision = policy.decide(horizon)
             decision_seconds = (
                 scope.parallel_seconds
@@ -195,7 +209,7 @@ class AutoCompactionDaemon:
                 observed_s=decision_seconds,
                 clock=cluster.clock.now, note=decision.note))
             return
-        self._execute(name, handler, decision)
+        self._execute(name, target, decision)
 
     def _execute(self, name, handler, decision):
         session = self.session

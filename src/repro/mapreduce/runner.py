@@ -104,14 +104,22 @@ class JobRunner:
             map_durations = self._finish_durations(map_entries, counters)
             reduce_durations = self._finish_durations(reduce_entries,
                                                       counters)
-            map_seconds = _makespan(map_durations, profile.total_map_slots)
+            # A sharded table spreads its splits over ``shard_fanout``
+            # independent region servers, each bringing its own task slots
+            # and HBase region: the makespan sees fanout× the slots and
+            # the (otherwise serial) HBase time is paid per-server.  Only
+            # the time model changes — every task still runs and charges
+            # the ledger exactly as on one server.
+            fanout = max(1, int(job.properties.get("shard_fanout", 1)))
+            map_seconds = _makespan(map_durations,
+                                    profile.total_map_slots * fanout)
             reduce_seconds = _makespan(reduce_durations,
-                                       profile.total_reduce_slots)
+                                       profile.total_reduce_slots * fanout)
             # HBase region servers are a shared resource: the job pays its
             # total HBase time serially, on top of the parallel task phases.
             sim_seconds = (profile.job_startup_s + map_seconds
                            + shuffle_seconds + reduce_seconds
-                           + job_scope.hbase_seconds)
+                           + job_scope.hbase_seconds / fanout)
             job_span.annotate(
                 sim_seconds=round(sim_seconds, 6),
                 map_seconds=round(map_seconds, 6),

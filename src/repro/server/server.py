@@ -58,7 +58,7 @@ _READ_ONLY = (ast.SelectStmt, ast.UnionAllStmt, ast.DescribeStmt,
               ast.ShowMetricsStmt, ast.ShowTablesStmt,
               ast.ShowPartitionsStmt, ast.ShowCompactionsStmt,
               ast.ShowSessionsStmt, ast.ShowServerStatsStmt,
-              ast.ShowAdvisorStmt, ast.SetOptionStmt)
+              ast.ShowAdvisorStmt, ast.ShowShardsStmt, ast.SetOptionStmt)
 
 
 def statement_tables(stmt):
@@ -271,7 +271,7 @@ class DualTableServer:
                 info = self.engine.metastore.table(stmt.table)
             except ReproError:
                 return False, False   # let execution raise the real error
-            if info.storage == "dualtable":
+            if info.storage in ("dualtable", "dualtable-sharded"):
                 # Optimistic: the cost model usually picks the EDIT plan,
                 # which defers cleanly; an OVERWRITE choice escalates via
                 # StatementTxn.require_exclusive mid-flight.
@@ -596,6 +596,11 @@ class DualTableServer:
                           else None,
             "error": error,
             "result": rec.txn.result if rec.txn is not None else None,
+            # Repeatable analytic reads: the commit-log sequence the
+            # statement's snapshot was taken at — reads dispatched at the
+            # same seq saw the same committed state.
+            "snapshot_seq": (rec.txn.snapshot_seq
+                             if rec.txn is not None else None),
         }
         self.outcomes.append(outcome)
         return outcome

@@ -109,6 +109,46 @@ class TestRegistry:
             # total is approximate across orders.
             assert h.total == pytest.approx(a.total)
 
+    @pytest.mark.parametrize("seed", range(12))
+    def test_merge_order_independence_property(self, seed):
+        """Property: partition any observation stream into per-worker
+        partial histograms, merge the partials in ANY order, and the
+        quantiles (plus count/min/max/buckets) come out identical to the
+        single-histogram reference — the per-shard/per-worker metrics
+        merge path can never smear a percentile."""
+        import itertools
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(1, 200)
+        values = [0.0 if rng.random() < 0.1
+                  else 10 ** rng.uniform(-6, 4) for _ in range(n)]
+        reference = Histogram()
+        for v in values:
+            reference.observe(v)
+        # Split into k partials at random cut points.
+        k = rng.randint(1, 6)
+        cuts = sorted(rng.randint(0, n) for _ in range(k - 1))
+        parts = []
+        for lo, hi in zip([0] + cuts, cuts + [n]):
+            part = Histogram()
+            for v in values[lo:hi]:
+                part.observe(v)
+            parts.append(part)
+        orders = (list(itertools.permutations(range(len(parts))))
+                  if len(parts) <= 3
+                  else [rng.sample(range(len(parts)), len(parts))
+                        for _ in range(6)])
+        for order in orders:
+            merged = Histogram()
+            for index in order:
+                merged.merge(parts[index])
+            assert (merged.p50, merged.p95, merged.p99) \
+                == (reference.p50, reference.p95, reference.p99), order
+            assert merged.buckets == reference.buckets
+            assert (merged.count, merged.vmin, merged.vmax) \
+                == (reference.count, reference.vmin, reference.vmax)
+
     def test_rows_like_glob(self):
         reg = MetricsRegistry()
         reg.incr("dualtable.scans.t1")

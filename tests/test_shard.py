@@ -1,0 +1,355 @@
+"""Sharded DualTable tests: identity, routing, rebalance, advisor.
+
+The load-bearing contract is *shard-count identity* (INTERNALS §13): a
+logical table ``SHARDED BY (k) INTO n`` returns the same rows, charges
+the same ledger bytes/ops, and moves the same non-cache counters for
+every ``n`` — sharding changes placement and simulated makespan only.
+The comparison goes through :mod:`repro.shard.identity` so the test and
+``scripts/bench_shard.py --check`` enforce the exact same gate.
+"""
+
+import pytest
+
+from repro.cluster import ClusterProfile
+from repro.hive import HiveSession
+from repro.hive import ast_nodes as ast
+from repro.hive.parser import parse
+from repro.advisor import WorkloadAdvisor, apply_findings
+from repro.server import Arrival, build_ledger_server
+from repro.shard import NUM_BUCKETS, ShardMap
+from repro.shard.identity import identity_fingerprint
+
+
+def make_session(shards, workers=1, engine="row", rows=90,
+                 rows_per_file=10):
+    session = HiveSession(profile=ClusterProfile.laptop(workers=workers),
+                          engine=engine)
+    session.execute(
+        "CREATE TABLE t (k int, grp string, v int) PRIMARY KEY (k) "
+        "STORED AS dualtable SHARDED BY (k) INTO %d "
+        "TBLPROPERTIES ('orc.rows_per_file' = '%d')"
+        % (shards, rows_per_file))
+    session.load_rows("t", [(i, "g%d" % (i % 3), i % 7)
+                            for i in range(rows)])
+    return session
+
+
+def handler_of(session, name="t"):
+    return session.metastore.table(name).handler
+
+
+# ---------------------------------------------------------------------------
+# Shard-count identity: INTO 1/4/8 x workers 1/4 x both engines.
+# ---------------------------------------------------------------------------
+IDENTITY_WORKLOAD = [
+    "SELECT count(*), sum(v) FROM t",
+    "UPDATE t SET v = 999 WHERE k < 20",
+    "SELECT count(*), sum(v) FROM t WHERE v = 999",
+    "DELETE FROM t WHERE k >= 70",
+    "SELECT k, v FROM t WHERE k = 0",
+    "SELECT grp, count(*), sum(v) FROM t GROUP BY grp ORDER BY grp",
+    "SELECT count(*), sum(v) FROM t",
+]
+
+
+def run_identity(shards, workers=1, engine="row"):
+    session = make_session(shards, workers=workers, engine=engine)
+    transcript = []
+    for sql in IDENTITY_WORKLOAD:
+        result = session.execute(sql)
+        transcript.append((sql, result.rows))
+    return identity_fingerprint(session, transcript)
+
+
+@pytest.fixture(scope="module")
+def identity_baseline():
+    return run_identity(1, workers=1, engine="row")
+
+
+class TestShardCountIdentity:
+    @pytest.mark.parametrize("shards,workers,engine", [
+        (1, 1, "vectorized"),
+        (1, 4, "row"),
+        (1, 4, "vectorized"),
+        (4, 1, "row"),
+        (4, 1, "vectorized"),
+        (4, 4, "row"),
+        (4, 4, "vectorized"),
+        (8, 1, "row"),
+        (8, 1, "vectorized"),
+        (8, 4, "row"),
+        (8, 4, "vectorized"),
+    ])
+    def test_fingerprint_matches_serial_single_shard(
+            self, identity_baseline, shards, workers, engine):
+        transcript, ledger, counters = run_identity(shards, workers,
+                                                    engine)
+        base_transcript, base_ledger, base_counters = identity_baseline
+        for (sql, rows), (_, expect) in zip(transcript, base_transcript):
+            assert rows == expect, sql
+        assert ledger == base_ledger
+        assert counters == base_counters
+
+    def test_baseline_rerun_is_self_consistent(self, identity_baseline):
+        assert run_identity(1, workers=1, engine="row") \
+            == identity_baseline
+
+    def test_physical_file_set_is_shard_count_invariant(self):
+        """Bucket-grouped layout: same basenames, sizes and row counts
+        for every INTO n — only the owning directory differs."""
+        def file_set(shards):
+            handler = handler_of(make_session(shards))
+            fs = handler.env.fs
+            out = []
+            for path in sorted(handler.master.file_paths(),
+                               key=lambda p: p.rsplit("/", 1)[-1]):
+                file_id, num_rows = handler.master.file_meta(path)
+                out.append((path.rsplit("/", 1)[-1], file_id,
+                            fs.file_size(path), num_rows))
+            return out
+        base = file_set(1)
+        assert len(base) > 8
+        assert file_set(4) == base
+        assert file_set(8) == base
+
+    def test_rows_survive_compact_at_every_shard_count(self):
+        """COMPACT folds per region server, so the *file layout* after
+        it is placement-dependent (per-child consolidation) — but the
+        logical rows must stay identical at every INTO n."""
+        def rows_after_compact(shards):
+            session = make_session(shards)
+            session.execute("UPDATE t SET v = 999 WHERE k < 20")
+            session.execute("COMPACT TABLE t")
+            return session.execute(
+                "SELECT k, grp, v FROM t ORDER BY k").rows
+        base = rows_after_compact(1)
+        assert len(base) == 90
+        assert rows_after_compact(4) == base
+        assert rows_after_compact(8) == base
+
+
+# ---------------------------------------------------------------------------
+# LOOKUP routing: exactly the owning shard is planned, read and charged.
+# ---------------------------------------------------------------------------
+class TestLookupRouting:
+    def test_point_read_routed_to_single_owning_shard(self):
+        session = make_session(4)
+        handler = handler_of(session)
+        key = 17
+        owner = handler.shard_map.shard_of(key)
+        session.execute("SET dualtable.plan = lookup")
+        result = session.execute("SELECT k, v FROM t WHERE k = %d" % key)
+        assert result.rows == [(17, 17 % 7)]
+        assert result.plan == "lookup"
+        assert result.detail["shard"] == owner
+        metrics = session.cluster.metrics
+        for shard in range(4):
+            expect = 1 if shard == owner else 0
+            assert metrics.counter("shard.lookups.t.%d" % shard) == expect
+
+    def test_lookup_plan_reads_only_owning_shard_files(self):
+        """Every candidate file in the routed plan lives under the
+        owning child's master directory — the per-query bytes are
+        charged on exactly one shard."""
+        session = make_session(4)
+        handler = handler_of(session)
+        key = 17
+        owner = handler.shard_map.shard_of(key)
+        plan = handler.plan_lookup(
+            {"k": _point_range(session, key)}, hit_faults=False)
+        assert plan is not None and plan.shard == owner
+        prefix = handler.children[owner].master.location + "/"
+        assert plan.files
+        assert all(f["path"].startswith(prefix) for f in plan.files)
+
+    def test_open_range_fans_out_to_scan(self):
+        session = make_session(4)
+        handler = handler_of(session)
+        assert handler.plan_lookup(
+            {"k": _open_range(session)}, hit_faults=False) is None
+        session.execute("SET dualtable.plan = cost")
+        result = session.execute("SELECT count(*) FROM t WHERE k < 50")
+        assert result.rows == [(50,)]
+        assert result.plan.startswith("select(")
+
+
+def _point_range(session, key):
+    from repro.hive.pushdown import extract_ranges
+    stmt = parse("SELECT k FROM t WHERE k = %d" % key)
+    return extract_ranges(stmt.where)["k"]
+
+
+def _open_range(session):
+    from repro.hive.pushdown import extract_ranges
+    stmt = parse("SELECT k FROM t WHERE k < 50")
+    return extract_ranges(stmt.where)["k"]
+
+
+# ---------------------------------------------------------------------------
+# SHOW SHARDS / REBALANCE.
+# ---------------------------------------------------------------------------
+class TestShowShardsAndRebalance:
+    def test_show_shards_accounts_for_every_bucket_and_row(self):
+        session = make_session(4)
+        result = session.execute("SHOW SHARDS t")
+        assert result.names == ["shard", "buckets", "files", "rows",
+                                "master_bytes", "attached_bytes", "heat"]
+        assert len(result.rows) == 4
+        assert sum(r[1] for r in result.rows) == NUM_BUCKETS
+        assert sum(r[3] for r in result.rows) == 90
+
+    def test_rebalance_is_a_noop_when_heat_is_balanced(self):
+        session = make_session(4)
+        result = session.execute("ALTER TABLE t REBALANCE")
+        assert result.plan == "rebalance-noop"
+        assert result.affected == 0
+
+    def test_rebalance_moves_hot_bucket_and_resets_heat(self):
+        session = make_session(4)
+        handler = handler_of(session)
+        hot_key = 17
+        src = handler.shard_map.shard_of(hot_key)
+        session.execute("SET dualtable.plan = lookup")
+        for _ in range(12):
+            session.execute("SELECT v FROM t WHERE k = %d" % hot_key)
+        session.execute("SET dualtable.plan = cost")
+        heats = handler.shard_heats()
+        assert heats[src] == 12
+        before_rows = session.execute(
+            "SELECT k, grp, v FROM t ORDER BY k").rows
+        result = session.execute("ALTER TABLE t REBALANCE")
+        assert result.plan == "rebalance"
+        assert result.detail["src"] == src
+        moved_bucket = result.detail["bucket"]
+        assert handler.shard_map.assignment[moved_bucket] \
+            == result.detail["dst"]
+        # Data-neutral: the logical table is unchanged.
+        assert session.execute(
+            "SELECT k, grp, v FROM t ORDER BY k").rows == before_rows
+        # Heat measurement restarts from zero.
+        assert handler.shard_heats() == [0] * 4
+
+    def test_rebalance_decision_is_deterministic(self):
+        def run_once():
+            session = make_session(4)
+            session.execute("SET dualtable.plan = lookup")
+            for key in (17, 17, 17, 17, 5, 41):
+                session.execute("SELECT v FROM t WHERE k = %d" % key)
+            session.execute("SET dualtable.plan = cost")
+            result = session.execute("ALTER TABLE t REBALANCE")
+            handler = handler_of(session)
+            return (result.detail, list(handler.shard_map.assignment))
+        assert run_once() == run_once()
+
+    def test_shard_map_survives_reopen(self):
+        session = make_session(4)
+        handler = handler_of(session)
+        session.execute("SET dualtable.plan = lookup")
+        for _ in range(12):
+            session.execute("SELECT v FROM t WHERE k = 17")
+        session.execute("SET dualtable.plan = cost")
+        session.execute("ALTER TABLE t REBALANCE")
+        moved = list(handler.shard_map.assignment)
+        assert moved != [b % 4 for b in range(NUM_BUCKETS)]
+        reloaded = ShardMap(handler.env.fs, "t", 4)
+        assert reloaded.assignment == moved
+
+
+# ---------------------------------------------------------------------------
+# Advisor: shard-skew finding closes the loop through REBALANCE.
+# ---------------------------------------------------------------------------
+class TestShardSkewAdvisor:
+    def _skewed_session(self):
+        session = make_session(4)
+        handler = handler_of(session)
+        hot_key = 17
+        session.execute("SET dualtable.plan = lookup")
+        for _ in range(12):
+            session.execute("SELECT v FROM t WHERE k = %d" % hot_key)
+        session.execute("SET dualtable.plan = cost")
+        return session, handler, handler.shard_map.shard_of(hot_key)
+
+    def test_skew_surfaces_with_rebalance_remediation(self):
+        session, handler, hot = self._skewed_session()
+        findings = [f for f in WorkloadAdvisor(session).analyze()
+                    if f.code == "shard-skew"]
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.subject == "t"
+        assert finding.evidence["hot_shard"] == hot
+        assert finding.remediation == ["ALTER TABLE t REBALANCE"]
+
+    def test_apply_clears_the_finding(self):
+        session, handler, _ = self._skewed_session()
+        findings = [f for f in WorkloadAdvisor(session).analyze()
+                    if f.code == "shard-skew"]
+        applied = apply_findings(session, findings)
+        assert [sql for sql, _ in applied] == ["ALTER TABLE t REBALANCE"]
+        assert not [f for f in WorkloadAdvisor(session).analyze()
+                    if f.code == "shard-skew"]
+
+    def test_balanced_table_stays_quiet(self):
+        session = make_session(4)
+        assert not [f for f in WorkloadAdvisor(session).analyze()
+                    if f.code == "shard-skew"]
+
+
+# ---------------------------------------------------------------------------
+# SQL surface.
+# ---------------------------------------------------------------------------
+class TestShardSQL:
+    def test_create_sharded_parses_into_properties(self):
+        stmt = parse("CREATE TABLE t (k int, v int) PRIMARY KEY (k) "
+                     "STORED AS dualtable SHARDED BY (k) INTO 8")
+        assert stmt.shard_key == "k"
+        assert stmt.shard_count == 8
+        # The clause is position-flexible: before STORED AS too.
+        alt = parse("CREATE TABLE t (k int, v int) PRIMARY KEY (k) "
+                    "SHARDED BY (k) INTO 8 STORED AS dualtable")
+        assert (alt.shard_key, alt.shard_count) == ("k", 8)
+
+    def test_show_shards_and_rebalance_parse(self):
+        assert isinstance(parse("SHOW SHARDS t"), ast.ShowShardsStmt)
+        assert isinstance(parse("ALTER TABLE t REBALANCE"),
+                          ast.AlterRebalanceStmt)
+
+    def test_sharded_requires_known_key_column(self):
+        session = HiveSession(profile=ClusterProfile.laptop())
+        with pytest.raises(Exception):
+            session.execute(
+                "CREATE TABLE bad (k int, v int) PRIMARY KEY (k) "
+                "STORED AS dualtable SHARDED BY (missing) INTO 4")
+
+
+# ---------------------------------------------------------------------------
+# Repeatable analytic reads (server snapshot_seq).
+# ---------------------------------------------------------------------------
+class TestRepeatableServerReads:
+    def test_reads_resolve_against_dispatch_time_snapshot(self):
+        """Every outcome carries the commit-log seq its snapshot was
+        taken at, and a read's rows are fully determined by that seq:
+        before the writer's commit_seq it sees the old total, at or
+        after it the new one — never a mix."""
+        server = build_ledger_server(accounts=8, seed=11)
+        writer, reader = server.connect("w"), server.connect("r")
+        arrivals = [Arrival(0.0, writer,
+                            "UPDATE ledger SET v = v + 10 WHERE id < 8")]
+        arrivals += [Arrival(0.001 * (i + 1), reader,
+                             "SELECT SUM(v) FROM ledger")
+                     for i in range(6)]
+        arrivals += [Arrival(5.0, reader, "SELECT SUM(v) FROM ledger")]
+        outcomes = server.run(arrivals, concurrency=4)
+        write = next(o for o in outcomes
+                     if o["sql"].startswith("UPDATE"))
+        assert write["status"] == "committed"
+        assert write["snapshot_seq"] is not None
+        commit_seq = write["commit_seq"]
+        reads = [o for o in outcomes if o["sql"].startswith("SELECT")]
+        assert reads and all(o["snapshot_seq"] is not None
+                             for o in reads)
+        for o in reads:
+            total = o["result"].scalar() or 0
+            expect = 80 if o["snapshot_seq"] >= commit_seq else 0
+            assert total == expect, o
+        # The late read ran after the commit and must see it.
+        assert reads[-1]["snapshot_seq"] >= commit_seq
