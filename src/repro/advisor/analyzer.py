@@ -81,7 +81,10 @@ class WorkloadAdvisor:
                 evidence={"scans": p.scans, "dmls": p.dmls,
                           "scan_dml_ratio": p.scan_dml_ratio,
                           "attached_bytes": p.attached_bytes,
-                          "deltas_applied": p.deltas_applied},
+                          "deltas_applied": p.deltas_applied,
+                          "batches_fast": p.batches_fast,
+                          "batches_overlay": p.batches_overlay,
+                          "batches_row_fallback": p.batches_row_fallback},
                 remediation=[
                     "ALTER TABLE %s SET AUTOCOMPACT (ON)" % p.table,
                     "COMPACT TABLE %s" % p.table,

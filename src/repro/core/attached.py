@@ -166,6 +166,45 @@ class AttachedTable:
         cache.put(key, (items, recorder), nbytes=nbytes)
         return iter(items)
 
+    def file_overlay(self, file_id, items=None):
+        """The file's :class:`~repro.core.union_read.DeltaOverlay`,
+        memoized per delta-epoch.
+
+        ``items`` is the already-materialized (and already-charged)
+        result of :meth:`scan_file` — building the overlay is pure CPU
+        re-arrangement of data the scan paid for, so this method charges
+        nothing; when ``items`` is omitted the charged scan runs here.
+
+        The overlay is cached keyed ``(table, backend, file_id,
+        "overlay")`` in the same delta-range cache as :meth:`scan_file`
+        results and the presence index, so every existing invalidation
+        path — ``put_update`` / ``put_delete`` / ``clear`` /
+        ``clear_file`` via ``_invalidate_cache``, a region-server crash
+        clearing the whole cache, LRU eviction — covers it for free; a
+        stale overlay is impossible by construction.  Overlays are
+        shared: callers must not mutate them.
+        """
+        from repro.core.union_read import build_overlay
+
+        cache = self._delta_cache()
+        key = None
+        if cache is not None and cache.budget_bytes > 0:
+            key = (self.name, self.backend, file_id, "overlay")
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        if items is None:
+            items = list(self.scan_file(file_id))
+        overlay = build_overlay(items)
+        if key is not None:
+            npatch = sum(len(p[0]) for p in overlay.patches.values())
+            nbytes = 64 + 16 * (len(overlay.positions)
+                                + len(overlay.delete_positions)
+                                + len(overlay.applied_positions)) \
+                + 48 * npatch
+            cache.put(key, overlay, nbytes=nbytes)
+        return overlay
+
     def scan_range(self, start=None, stop=None):
         for record_id, cells in self._htable().scan(start, stop):
             yield record_id, self._resolve(cells)

@@ -32,7 +32,8 @@ from repro.core.master import MasterTable
 from repro.core.metadata import DualTableMetadata
 from repro.core.record_id import RECORD_ID_BYTES
 from repro.core.udtf import delete_udtf, update_udtf
-from repro.core.union_read import union_read_batches, union_read_file
+from repro.core.union_read import (classify_merge_units, union_read_batches,
+                                   union_read_file, union_read_overlay)
 from repro.parallel import parallel_map
 
 #: per-assignment Attached-Table payload estimate: 3-byte qualifier +
@@ -259,6 +260,54 @@ class DualTableHandler(StorageHandler):
         for _, values in self.read_split_with_rids(split, ctx):
             yield values
 
+    @property
+    def merge_mode(self):
+        """The session's dirty-batch merge strategy ("overlay" | "row")."""
+        return getattr(self.env, "merge_mode", "overlay")
+
+    def _prepare_union_read(self, file_id, reader, stripe_filter):
+        """Shared per-file merge setup for the row and batch read paths.
+
+        Materializes the (charged) delta scan, resolves it into the
+        memoized :class:`~repro.core.union_read.DeltaOverlay`, and
+        classifies the file's merge units (``unionread.batches_*``
+        counters) on the canonical per-stripe grid.  Eager
+        materialization reorders the delta-scan charges relative to the
+        interleaved master reads, which is ledger-neutral: charges
+        accumulate per (device, category) key, so only per-key order —
+        unchanged — matters.  Returns ``(items, overlay)``.
+        """
+        items = list(self.attached.scan_file(file_id))
+        overlay = self.attached.file_overlay(file_id, items=items)
+        spans = [(s.first_row, s.num_rows) for s in reader.stripes
+                 if stripe_filter is None or stripe_filter(s)]
+        fast, dirty = classify_merge_units(spans, overlay.positions)
+        self._note_merge_units(fast, dirty)
+        return items, overlay
+
+    def _note_merge_units(self, fast, dirty):
+        """Merge-unit accounting: how much of the scanned stripe grid
+        streamed through the fast path vs needed delta work.
+
+        The unit grid is per *stripe* — control-plane arithmetic over
+        footer spans and delta positions, so the counts are
+        byte-identical across engines, workers, shards and the
+        batch-size knob.  Dirty units are attributed to the configured
+        merge strategy (``batches_overlay`` vs ``batches_row_fallback``);
+        the row *engine* reports the same classification the batch
+        engine would, keeping the cross-engine counter contract.
+        """
+        metrics = self.env.cluster.metrics
+        table = self.table.name
+        if fast:
+            metrics.incr("unionread.batches_fast", fast)
+            metrics.incr("unionread.batches_fast.%s" % table, fast)
+        if dirty:
+            name = ("batches_overlay" if self.merge_mode == "overlay"
+                    else "batches_row_fallback")
+            metrics.incr("unionread.%s" % name, dirty)
+            metrics.incr("unionread.%s.%s" % (name, table), dirty)
+
     def read_split_with_rids(self, split, ctx):
         """UNION READ of one master file: yields (record_id, values)."""
         payload = split.payload
@@ -273,7 +322,8 @@ class DualTableHandler(StorageHandler):
             orc_rows = reader.rows(projection=projection,
                                    stripe_filter=stripe_filter)
             projection_map = self._projection_map(projection)
-            deltas = self.attached.scan_file(payload["file_id"])
+            deltas, _ = self._prepare_union_read(
+                payload["file_id"], reader, stripe_filter)
             stats = {}
             nrows = 0
             for item in union_read_file(payload["file_id"], orc_rows, deltas,
@@ -289,9 +339,10 @@ class DualTableHandler(StorageHandler):
         (footer + stripe-column bytes via the ORC reader, the delta scan
         via ``scan_file``, the per-output-row ``unionread`` CPU charge,
         the ``unionread.*`` metrics) — only the wall-clock work differs.
-        When the file has no attached deltas the batches stream straight
-        through ``union_read_batches``'s zero-delta fast path: no merge
-        loop, no per-row record-id encoding.
+        Clean files stream straight through the zero-delta fast path
+        under either strategy; dirty batches are merged with the
+        columnar overlay by default, or the per-row reference merge
+        under ``SET dualtable.merge = row`` (INTERNALS §14).
         """
         payload = split.payload
         cluster = self.env.cluster
@@ -306,12 +357,19 @@ class DualTableHandler(StorageHandler):
                                          stripe_filter=stripe_filter,
                                          batch_rows=batch_rows)
             projection_map = self._projection_map(projection)
-            deltas = self.attached.scan_file(payload["file_id"])
+            items, overlay = self._prepare_union_read(
+                payload["file_id"], reader, stripe_filter)
             stats = {}
             nrows = 0
-            for batch in union_read_batches(payload["file_id"], orc_batches,
-                                            deltas, projection_map,
-                                            stats=stats):
+            if self.merge_mode == "overlay":
+                merged = union_read_overlay(payload["file_id"], orc_batches,
+                                            overlay, projection_map,
+                                            stats=stats)
+            else:
+                merged = union_read_batches(payload["file_id"], orc_batches,
+                                            items, projection_map,
+                                            stats=stats)
+            for batch in merged:
                 nrows += batch.length
                 yield batch
             self._note_union_read(span, nrows, stats)

@@ -28,7 +28,8 @@ from dataclasses import dataclass
 
 from repro.hive.pushdown import make_stripe_filter
 from repro.core.master import FILE_ID_KEY
-from repro.core.union_read import union_read_batches, union_read_file
+from repro.core.union_read import (union_read_batches, union_read_file,
+                                   union_read_overlay)
 from repro.orc import OrcReader
 
 #: allowed fault kinds per LOOKUP injection point.  Kept separate from
@@ -228,16 +229,23 @@ def run_lookup(handler, plan, engine="row", batch_rows=None):
                     [n for n, _ in reader.schema],
                     {plan.pk: plan.pk_range})
             projection_map = handler._projection_map(plan.projection)
-            deltas = handler.attached.scan_file(candidate["file_id"])
+            deltas, overlay = handler._prepare_union_read(
+                candidate["file_id"], reader, stripe_filter)
             stats = {}
             nrows = 0
             if vectorized:
                 batches = reader.batches(projection=plan.projection,
                                          stripe_filter=stripe_filter,
                                          batch_rows=batch_rows)
-                for batch in union_read_batches(
+                if handler.merge_mode == "overlay":
+                    merged = union_read_overlay(
+                        candidate["file_id"], batches, overlay,
+                        projection_map, stats=stats)
+                else:
+                    merged = union_read_batches(
                         candidate["file_id"], batches, deltas,
-                        projection_map, stats=stats):
+                        projection_map, stats=stats)
+                for batch in merged:
                     nrows += batch.length
                     out.extend(batch.rows())
             else:

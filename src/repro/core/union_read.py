@@ -4,10 +4,49 @@ Both inputs arrive sorted by record ID (master rows by construction,
 attached rows because HBase keys are record IDs), so the merge is a single
 linear two-pointer pass per master file — the "simple MapReduce algorithm
 using a divide-and-conquer strategy" of Section III-C.
+
+Two merge strategies produce byte-identical output:
+
+* the **row merge** (:func:`union_read_file` and the fallback loop in
+  :func:`union_read_batches`) encodes one record ID per master row and
+  walks the delta iterator beside it — simple, and the reference
+  semantics for everything else;
+* the **overlay merge** (:func:`union_read_overlay`) pre-resolves the
+  file's sorted deltas into a :class:`DeltaOverlay` — sorted delete
+  positions plus per-column sparse patch lists — and applies it to each
+  ColumnBatch with binary search and slice-level column surgery, so the
+  merge cost scales with the number of *deltas*, not the number of rows
+  (cf. *Fast Updates on Read-Optimized Databases Using Multi-Core CPUs*,
+  arXiv:1109.6885).
+
+The merge-stat contract (``deltas_applied`` / ``rows_deleted`` /
+``deltas_skipped`` / ``trailing_deltas``) is shared by all three entry
+points; tests/test_merge_overlay.py fuzzes row-vs-overlay equality of
+rows *and* stats over adversarial delta distributions.
 """
 
-from repro.core.record_id import encode_record_id
-from repro.vector import batch_from_rows
+from bisect import bisect_left
+
+from repro.core.record_id import decode_record_id, encode_record_id
+from repro.vector import ColumnBatch, batch_from_rows, spliced
+
+
+def apply_update(values, updates, projection_map):
+    """Apply one delta's update cells onto a projected row tuple.
+
+    The single shared implementation of the update-application loop —
+    the row merge, the batch fallback merge and
+    :func:`apply_delta_to_row` all funnel through here so the paths
+    cannot drift.  Update cells whose column is not projected are
+    dropped (the delta still *counts* as applied; the caller owns the
+    stats).
+    """
+    merged = list(values)
+    for column_index, new_value in updates.items():
+        position = projection_map.get(column_index)
+        if position is not None:
+            merged[position] = new_value
+    return tuple(merged)
 
 
 def union_read_file(file_id, orc_rows, delta_items, projection_map,
@@ -56,12 +95,8 @@ def union_read_file(file_id, orc_rows, delta_items, projection_map,
                     continue
                 if delta.updates:
                     applied += 1
-                    merged = list(values)
-                    for column_index, new_value in delta.updates.items():
-                        position = projection_map.get(column_index)
-                        if position is not None:
-                            merged[position] = new_value
-                    yield record_id, tuple(merged)
+                    yield record_id, apply_update(values, delta.updates,
+                                                  projection_map)
                     continue
             yield record_id, values
         while current is not None:
@@ -77,7 +112,8 @@ def union_read_file(file_id, orc_rows, delta_items, projection_map,
 
 def union_read_batches(file_id, orc_batches, delta_items, projection_map,
                        stats=None):
-    """Columnar UNION READ: merge ColumnBatches with attached deltas.
+    """Columnar UNION READ, row-fallback flavor: per-row merge on dirty
+    batches.
 
     Batch-path sibling of :func:`union_read_file`, yielding
     :class:`~repro.vector.ColumnBatch` objects instead of per-row
@@ -92,7 +128,10 @@ def union_read_batches(file_id, orc_batches, delta_items, projection_map,
     per-row record-id encoding.  A fully compacted file therefore costs
     one comparison per *batch* instead of one id encode + compare per
     *row*.  Batches that do overlap a delta fall back to the row merge
-    and are re-packed (deletes drop rows, updates patch them).
+    and are re-packed (deletes drop rows, updates patch them) — the
+    overlay merge (:func:`union_read_overlay`, the default) exists to
+    avoid exactly that fallback; this function is retained behind
+    ``SET dualtable.merge = row`` as the correctness reference.
     """
     applied = 0
     deleted = 0
@@ -124,12 +163,8 @@ def union_read_batches(file_id, orc_batches, delta_items, projection_map,
                         continue
                     if delta.updates:
                         applied += 1
-                        merged = list(values)
-                        for column_index, new_value in delta.updates.items():
-                            position = projection_map.get(column_index)
-                            if position is not None:
-                                merged[position] = new_value
-                        merged_rows.append(tuple(merged))
+                        merged_rows.append(apply_update(values, delta.updates,
+                                                        projection_map))
                         continue
                 merged_rows.append(values)
             if merged_rows:
@@ -145,6 +180,182 @@ def union_read_batches(file_id, orc_batches, delta_items, projection_map,
             stats["trailing_deltas"] = trailing
 
 
+class DeltaOverlay:
+    """One master file's deltas, pre-resolved for columnar application.
+
+    All four members are derived from the file's sorted delta stream and
+    express row *positions* (file-ordinal row numbers), so applying the
+    overlay to a ColumnBatch is pure binary search over ``row_base``:
+
+    ``positions``          — every delta row number, sorted (the merge
+                             cursor for skipped/trailing accounting);
+    ``delete_positions``   — rows with a DELETE marker, sorted;
+    ``applied_positions``  — rows with live (non-deleted, non-empty)
+                             updates, sorted — the ``deltas_applied``
+                             population;
+    ``patches``            — ``{schema_column_index: (positions, values)}``
+                             sparse per-column patch lists over the live
+                             updates (delete-marked rows excluded:
+                             delete wins over update, exactly as in the
+                             row merge).
+
+    Overlays are immutable and memoized per (file, delta-epoch) in the
+    delta-range cache (:meth:`AttachedTable.file_overlay`); callers must
+    not mutate them.
+    """
+
+    __slots__ = ("positions", "delete_positions", "applied_positions",
+                 "patches")
+
+    def __init__(self, positions, delete_positions, applied_positions,
+                 patches):
+        self.positions = positions
+        self.delete_positions = delete_positions
+        self.applied_positions = applied_positions
+        self.patches = patches
+
+    def __len__(self):
+        return len(self.positions)
+
+
+def build_overlay(items):
+    """Resolve one file's sorted ``(record_id, DeltaRecord)`` items into
+    a :class:`DeltaOverlay` — one :func:`decode_record_id` per *delta*
+    instead of one :func:`encode_record_id` per master *row*."""
+    positions = []
+    delete_positions = []
+    applied_positions = []
+    patches = {}
+    for record_id, delta in items:
+        _, row_number = decode_record_id(record_id)
+        positions.append(row_number)
+        if delta.deleted:
+            delete_positions.append(row_number)
+            continue
+        if not delta.updates:
+            continue   # noop delta: matches a master row, changes nothing
+        applied_positions.append(row_number)
+        for column_index, new_value in delta.updates.items():
+            entry = patches.get(column_index)
+            if entry is None:
+                entry = patches[column_index] = ([], [])
+            entry[0].append(row_number)
+            entry[1].append(new_value)
+    return DeltaOverlay(positions, delete_positions, applied_positions,
+                        patches)
+
+
+def union_read_overlay(file_id, orc_batches, overlay, projection_map,
+                       stats=None):
+    """Columnar UNION READ, overlay flavor: vectorized delta application.
+
+    Semantically identical to :func:`union_read_batches` (same yielded
+    rows, same ``stats`` dict), but a dirty batch costs binary searches
+    plus slice-level column surgery instead of a per-row record-id merge:
+
+    * patched columns are rebuilt once with :func:`repro.vector.spliced`
+      (sparse position/value writes on a single list copy);
+    * deleted rows are dropped in place on that same copy (untouched
+      columns are copied first), so a batch with both patches and
+      deletes still costs exactly one copy per column;
+    * columns a batch neither patches nor shrinks are shared with the
+      source batch zero-copy.
+
+    A batch no delta position falls into streams through unchanged —
+    the zero-delta fast path now costs one ``bisect`` per batch.
+    """
+    applied = 0
+    deleted = 0
+    skipped = 0
+    trailing = 0
+    positions = overlay.positions
+    deletes = overlay.delete_positions
+    updates = overlay.applied_positions
+    cursor = 0   # first delta position not yet accounted for
+    try:
+        for batch in orc_batches:
+            base = batch.row_base
+            end = base + batch.length
+            lo = bisect_left(positions, base, cursor)
+            skipped += lo - cursor
+            hi = bisect_left(positions, end, lo)
+            cursor = hi
+            if lo == hi:
+                yield batch
+                continue
+            d_lo = bisect_left(deletes, base)
+            d_hi = bisect_left(deletes, end, d_lo)
+            deleted += d_hi - d_lo
+            a_lo = bisect_left(updates, base)
+            a_hi = bisect_left(updates, end, a_lo)
+            applied += a_hi - a_lo
+            patched = None
+            for column_index, (p_positions, p_values) in \
+                    overlay.patches.items():
+                position = projection_map.get(column_index)
+                if position is None:
+                    continue
+                p_lo = bisect_left(p_positions, base)
+                p_hi = bisect_left(p_positions, end, p_lo)
+                if p_lo == p_hi:
+                    continue
+                if patched is None:
+                    patched = list(batch.columns)
+                patched[position] = spliced(batch.columns[position],
+                                            p_positions[p_lo:p_hi],
+                                            p_values[p_lo:p_hi], base=base)
+            if d_lo == d_hi:
+                if patched is None:
+                    # Only noop or unprojected-update matches: content is
+                    # unchanged; hand the source batch through.
+                    yield batch
+                else:
+                    yield ColumnBatch(patched, batch.length)
+                continue
+            survivors = batch.length - (d_hi - d_lo)
+            if survivors == 0:
+                continue   # every row deleted; empty batches are not yielded
+            # Highest offset first so earlier deletes keep their index.
+            offsets = [p - base for p in reversed(deletes[d_lo:d_hi])]
+            source = batch.columns
+            columns = patched if patched is not None else list(source)
+            for position, column in enumerate(columns):
+                if column is source[position]:
+                    column = columns[position] = list(column)
+                for offset in offsets:
+                    del column[offset]
+            yield ColumnBatch(columns, survivors)
+        trailing = len(positions) - cursor
+    finally:
+        if stats is not None:
+            stats["deltas_applied"] = applied
+            stats["rows_deleted"] = deleted
+            stats["deltas_skipped"] = skipped
+            stats["trailing_deltas"] = trailing
+
+
+def classify_merge_units(spans, positions):
+    """``(fast_units, dirty_units)`` over a file's merge-unit grid.
+
+    ``spans`` are the surviving stripes' ``(first_row, num_rows)`` pairs
+    — the canonical merge-unit grid, independent of engine and of the
+    session batch-size knob — and ``positions`` the file's sorted delta
+    row numbers.  A unit any delta position falls into is *dirty* (the
+    merge strategy must do per-delta work there); the rest stream
+    through the fast path.  Pure control-plane arithmetic: no charges,
+    byte-identical across engines, workers and shards.
+    """
+    fast = 0
+    dirty = 0
+    for first_row, num_rows in spans:
+        lo = bisect_left(positions, first_row)
+        if lo < len(positions) and positions[lo] < first_row + num_rows:
+            dirty += 1
+        else:
+            fast += 1
+    return fast, dirty
+
+
 def apply_delta_to_row(values, delta, projection_map):
     """Apply one DeltaRecord to a projected row (None when deleted)."""
     if delta is None:
@@ -153,9 +364,4 @@ def apply_delta_to_row(values, delta, projection_map):
         return None
     if not delta.updates:
         return values
-    merged = list(values)
-    for column_index, new_value in delta.updates.items():
-        position = projection_map.get(column_index)
-        if position is not None:
-            merged[position] = new_value
-    return tuple(merged)
+    return apply_update(values, delta.updates, projection_map)

@@ -177,9 +177,9 @@ class Parser:
     def _set_option(self):
         """``SET dotted.option.name = value`` — session knobs."""
         self.expect_kw("set")
-        parts = [self.expect_ident()]
+        parts = [self._option_name_part()]
         while self.accept("punct", "."):
-            parts.append(self.expect_ident())
+            parts.append(self._option_name_part())
         self.expect("op", "=")
         token = self.advance()
         if token.kind not in ("ident", "kw", "string", "number"):
@@ -187,6 +187,18 @@ class Parser:
                              % ".".join(parts), token.pos)
         return ast.SetOptionStmt(name=".".join(parts).lower(),
                                  value=str(token.value))
+
+    def _option_name_part(self):
+        """One dotted-name segment of a SET option.
+
+        Keywords are allowed — option names live in their own namespace
+        (``dualtable.merge`` must parse even though MERGE is reserved).
+        """
+        token = self.peek()
+        if token.kind in ("ident", "kw"):
+            return self.advance().value
+        raise ParseError("expected option name, found %r"
+                         % (token.value,), token.pos)
 
     def _analyze_workload(self):
         token = self.advance()

@@ -71,6 +71,32 @@ class ColumnBatch:
         return ColumnBatch([[col[i] for i in indices]
                             for col in self.columns], len(indices))
 
+    def drop_sorted(self, offsets):
+        """New batch without the rows at sorted ``offsets``.
+
+        One list copy per column, then C-level ``del`` per dropped row
+        (highest offset first so earlier offsets stay valid), so the
+        per-row cost beyond the copy scales with the number of
+        *deletions* — the delta-merge accelerator's delete primitive.
+        """
+        reversed_offsets = offsets[::-1]
+        columns = []
+        for column in self.columns:
+            out = list(column)
+            for offset in reversed_offsets:
+                del out[offset]
+            columns.append(out)
+        return ColumnBatch(columns, self.length - len(offsets))
+
+
+def spliced(column, offsets, values, base=0):
+    """A copy of ``column`` with ``values[i]`` written at
+    ``offsets[i] - base`` — the sparse column-patch primitive."""
+    out = list(column)
+    for offset, value in zip(offsets, values):
+        out[offset - base] = value
+    return out
+
 
 def batch_from_rows(rows, width):
     """One ColumnBatch from a list of row tuples."""

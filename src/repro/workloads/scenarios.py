@@ -82,6 +82,93 @@ def build_scenario(scenario_id, statements_factor=0.1, seed=3):
             for step, kind in enumerate(pool)]
 
 
+ZIPF_TABLE = "zipf_updates"
+
+
+def zipf_update_ddl(rows_per_file=1000, stripe_rows=250, table=ZIPF_TABLE):
+    """DDL for the Zipf scenario's DualTable.
+
+    ``dualtable.mode = edit`` forces the EDIT plan so every UPDATE and
+    DELETE lands as attached deltas — the delta churn the scenario
+    exists to generate.
+    """
+    return ("CREATE TABLE %s (k int, grp string, v int, w double) "
+            "STORED AS dualtable TBLPROPERTIES ("
+            "'dualtable.mode' = 'edit', 'orc.rows_per_file' = '%d', "
+            "'orc.stripe_rows' = '%d')" % (table, rows_per_file, stripe_rows))
+
+
+def zipf_update_rows(rows):
+    """The scenario's base table content (pure function of ``rows``)."""
+    return [(i, "g%d" % (i % 5), i % 7, i / 8.0) for i in range(rows)]
+
+
+def build_zipf_update_scenario(rows=8000, updates=12, deletes=4, scans=4,
+                               keys_per_stmt=40, skew=1.1,
+                               dirty_fraction=0.25, seed=7,
+                               table=ZIPF_TABLE, rows_per_file=None,
+                               stripe_rows=None):
+    """Seeded Zipf-skewed update-heavy workload (ROADMAP item 5).
+
+    Models a YCSB-style skewed mutation stream: a *hot set* of
+    ``dirty_fraction * rows`` keys receives all DML, each statement
+    drawing ``keys_per_stmt`` keys with Zipf(``skew``) rank weights —
+    rank 1 is hottest, the tail barely touched.  Hot ranks are mapped
+    through a seeded permutation of the whole key space, so the dirty
+    keys scatter across every master file (YCSB's "scrambled Zipfian"),
+    which is the worst case for the UNION READ merge: most batches
+    carry at least one delta.  Interleaved full scans then pay the
+    merge — the workload ``scripts/bench_merge.py`` measures.
+
+    Returns ``{"table", "ddl", "rows", "statements", "hot_keys",
+    "config"}``; replay ``statements`` with :func:`run_scenario`.
+    """
+    rng = make_rng("scenario-zipf", rows, updates, deletes, scans,
+                   keys_per_stmt, round(skew, 6), round(dirty_fraction, 6),
+                   seed)
+    hot = max(1, min(rows, round(rows * dirty_fraction)))
+    spread = list(range(rows))
+    rng.shuffle(spread)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(hot)]
+
+    def draw_keys():
+        ranks = rng.choices(range(hot), weights=weights, k=keys_per_stmt)
+        return sorted({spread[rank] for rank in ranks})
+
+    def update_sql(step):
+        keys = draw_keys()
+        return ("UPDATE %s SET v = %d WHERE k IN (%s)"
+                % (table, 90 + step % 10,
+                   ", ".join(str(k) for k in keys)))
+
+    def delete_sql(step):
+        keys = draw_keys()
+        return ("DELETE FROM %s WHERE k IN (%s)"
+                % (table, ", ".join(str(k) for k in keys)))
+
+    def scan_sql(step):
+        return "SELECT k, grp, v, w FROM %s" % table
+
+    makers = {"update": update_sql, "delete": delete_sql, "scan": scan_sql}
+    pool = (["update"] * updates + ["delete"] * deletes + ["scan"] * scans)
+    rng.shuffle(pool)
+    statements = [(kind, makers[kind](step))
+                  for step, kind in enumerate(pool)]
+    rows_per_file = rows_per_file or max(1000, rows // 16)
+    stripe_rows = stripe_rows or max(250, rows_per_file // 4)
+    return {"table": table,
+            "ddl": zipf_update_ddl(rows_per_file=rows_per_file,
+                                   stripe_rows=stripe_rows,
+                                   table=table),
+            "rows": zipf_update_rows(rows),
+            "statements": statements,
+            "hot_keys": hot,
+            "config": {"rows": rows, "updates": updates,
+                       "deletes": deletes, "scans": scans,
+                       "keys_per_stmt": keys_per_stmt, "skew": skew,
+                       "dirty_fraction": dirty_fraction, "seed": seed}}
+
+
 def run_scenario(session, statements):
     """Execute a statement stream; returns (total_seconds, per_kind)."""
     per_kind = {}

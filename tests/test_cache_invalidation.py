@@ -255,6 +255,94 @@ class TestStripeIndexInvalidation:
         assert self.fresh_point(session, 17) == [(17, 2, "s17")]
 
 
+class TestOverlayInvalidation:
+    """The memoized DeltaOverlay (INTERNALS §14) lives in the delta
+    cache keyed ``(table, backend, file_id, "overlay")``, so every
+    invalidation path that protects delta ranges must drop it too.
+    Each test warms the overlay with a scan, mutates through one path,
+    and re-checks the cached answer against the all-caches-dropped
+    oracle."""
+
+    def build(self, workers=1):
+        session = build_session(workers=workers, mode="edit")
+        session.execute("UPDATE t SET v = -5 WHERE k = 3")
+        return session
+
+    def warmed(self, session):
+        select_all(session)
+        cache = session.cluster.delta_cache
+        assert any(len(key) == 4 and key[3] == "overlay"
+                   for key in cache._entries)
+        return cache
+
+    def test_overlay_cached_and_reused(self):
+        session = self.build()
+        self.warmed(session)
+        counters = session.cluster.metrics.counters
+        hits = counters.get("cache.delta.hits", 0)
+        expect = sorted((k, -5 if k == 3 else v) for k, v in ROWS)
+        assert select_all(session) == expect
+        assert counters["cache.delta.hits"] > hits
+
+    def test_overlay_dropped_by_dml(self):
+        session = self.build()
+        self.warmed(session)
+        session.execute("UPDATE t SET v = 9 WHERE k < 5")
+        expect = sorted((k, 9 if k < 5 else v) for k, v in ROWS)
+        assert select_all(session) == expect
+        assert fresh_rows(session) == expect
+
+    def test_overlay_dropped_by_delete(self):
+        session = self.build()
+        self.warmed(session)
+        session.execute("DELETE FROM t WHERE k = 3")
+        expect = sorted((k, v) for k, v in ROWS if k != 3)
+        assert select_all(session) == expect
+        assert fresh_rows(session) == expect
+
+    def test_overlay_dropped_by_compact(self):
+        session = self.build()
+        self.warmed(session)
+        session.execute("COMPACT TABLE t")
+        expect = sorted((k, -5 if k == 3 else v) for k, v in ROWS)
+        assert select_all(session) == expect
+        assert fresh_rows(session) == expect
+
+    def test_overlay_dropped_by_insert_overwrite(self):
+        session = self.build()
+        self.warmed(session)
+        session.execute("INSERT OVERWRITE TABLE t VALUES (1, 100)")
+        assert select_all(session) == [(1, 100)]
+        assert fresh_rows(session) == [(1, 100)]
+
+    def test_overlay_dropped_by_region_crash(self):
+        session = self.build()
+        cache = self.warmed(session)
+        session.hbase.crash_region_server()
+        assert len(cache) == 0
+        expect = sorted((k, -5 if k == 3 else v) for k, v in ROWS)
+        # WAL replay restores the delta; the rebuilt overlay must agree.
+        assert select_all(session) == expect
+        assert fresh_rows(session) == expect
+
+    def test_overlay_identical_under_zero_budget(self):
+        """With caching disabled the overlay is rebuilt per read —
+        results and simulated seconds cannot depend on the cache."""
+        cached = self.build()
+        uncached = HiveSession(profile=ClusterProfile.laptop(
+            orc_cache_bytes=0, delta_cache_bytes=0))
+        uncached.execute(
+            "CREATE TABLE t (k int, v int) STORED AS dualtable "
+            "TBLPROPERTIES ('orc.rows_per_file' = '10', "
+            "'dualtable.mode' = 'edit')")
+        uncached.load_rows("t", ROWS)
+        uncached.execute("UPDATE t SET v = -5 WHERE k = 3")
+        a = cached.execute("SELECT k, v FROM t ORDER BY k")
+        b = uncached.execute("SELECT k, v FROM t ORDER BY k")
+        assert a.rows == b.rows
+        assert a.sim_seconds == b.sim_seconds
+
+
 class TestTrailingDeltas:
     def test_trailing_delta_is_counted_not_dropped_silently(self):
         """An attached entry beyond the last master row (e.g. left by a

@@ -75,3 +75,95 @@ class TestScenarioExecution:
                 "SELECT yhlx, rq, dwdm, cjbm, val FROM tj_gbsjwzl_mx"
             ).rows)
         assert finals["orc"] == finals["dualtable"]
+
+
+class TestZipfUpdateScenario:
+    def test_deterministic(self):
+        a = scenarios.build_zipf_update_scenario(rows=400, seed=9)
+        b = scenarios.build_zipf_update_scenario(rows=400, seed=9)
+        assert a == b
+
+    def test_seed_changes_statements(self):
+        a = scenarios.build_zipf_update_scenario(rows=400, seed=1)
+        b = scenarios.build_zipf_update_scenario(rows=400, seed=2)
+        assert a["statements"] != b["statements"]
+
+    def test_every_statement_parses(self):
+        scenario = scenarios.build_zipf_update_scenario(rows=400)
+        parse(scenario["ddl"])
+        for _, sql in scenario["statements"]:
+            parse(sql)
+
+    def test_mix_matches_requested_counts(self):
+        scenario = scenarios.build_zipf_update_scenario(
+            rows=400, updates=5, deletes=3, scans=2)
+        counts = {}
+        for kind, _ in scenario["statements"]:
+            counts[kind] = counts.get(kind, 0) + 1
+        assert counts == {"update": 5, "delete": 3, "scan": 2}
+
+    def test_hot_set_bounds_dml_keys(self):
+        """All DML keys come from the dirty_fraction-sized hot set —
+        spread over the key space, but never more distinct keys than
+        the hot set holds."""
+        scenario = scenarios.build_zipf_update_scenario(
+            rows=200, dirty_fraction=0.1, keys_per_stmt=30)
+        assert scenario["hot_keys"] == 20
+        keys = set()
+        for kind, sql in scenario["statements"]:
+            if kind == "scan":
+                continue
+            in_list = sql[sql.index("(") + 1:sql.rindex(")")]
+            keys.update(int(key) for key in in_list.split(", "))
+        assert len(keys) <= scenario["hot_keys"]
+        assert all(0 <= key < 200 for key in keys)
+
+    def test_skew_concentrates_on_hot_ranks(self):
+        """Higher skew repeats fewer distinct keys (Zipf head heavier)."""
+        def distinct(skew):
+            scenario = scenarios.build_zipf_update_scenario(
+                rows=2000, skew=skew, keys_per_stmt=50,
+                updates=10, deletes=0, scans=0)
+            keys = set()
+            for _, sql in scenario["statements"]:
+                in_list = sql[sql.index("(") + 1:sql.rindex(")")]
+                keys.update(int(key) for key in in_list.split(", "))
+            return len(keys)
+        assert distinct(2.5) < distinct(0.2)
+
+    def test_runs_end_to_end_and_matches_orc_twin(self):
+        """Replaying the stream against DualTable (edit mode) and plain
+        ORC leaves both in the same logical state — the scenario is a
+        valid workload, not just parseable strings."""
+        finals = {}
+        for storage in ("dualtable", "orc"):
+            scenario = scenarios.build_zipf_update_scenario(rows=300)
+            session = HiveSession(profile=ClusterProfile.laptop())
+            if storage == "dualtable":
+                session.execute(scenario["ddl"])
+            else:
+                session.execute("CREATE TABLE %s (k int, grp string, "
+                                "v int, w double) STORED AS orc"
+                                % scenario["table"])
+            session.load_rows(scenario["table"], scenario["rows"])
+            total, per_kind = scenarios.run_scenario(
+                session, scenario["statements"])
+            assert total > 0
+            finals[storage] = sorted(session.execute(
+                "SELECT k, grp, v, w FROM zipf_updates").rows)
+        assert finals["dualtable"] == finals["orc"]
+        assert 0 < len(finals["orc"]) <= 300
+
+    def test_dml_lands_as_attached_deltas(self):
+        """dualtable.mode=edit forces every UPDATE/DELETE into the
+        Attached store, generating the delta churn the merge benchmark
+        measures."""
+        scenario = scenarios.build_zipf_update_scenario(rows=300)
+        session = HiveSession(profile=ClusterProfile.laptop())
+        session.execute(scenario["ddl"])
+        session.load_rows(scenario["table"], scenario["rows"])
+        for kind, sql in scenario["statements"]:
+            if kind != "scan":
+                session.execute(sql)
+        handler = session.table(scenario["table"]).handler
+        assert not handler.attached.is_empty()
